@@ -1,0 +1,163 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark drives the corresponding experiment through
+// the shared runner; the rendered artifact is printed once per process so
+//
+//	go test -bench=. -benchmem
+//
+// emits the full set of reproduced tables/figures alongside timings.
+// Measurement runs are memoized within the process (figures share
+// configuration replays exactly as the paper's analysis shares traces),
+// so the first iteration of each benchmark carries the real cost.
+//
+// Environment knobs: REPRO_BENCH_REQUESTS overrides the per-configuration
+// request count (default 48).
+package repro
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	benchMu      sync.Mutex
+	benchRunner  *experiments.Runner
+	benchPrinted = map[string]bool{}
+)
+
+func runner() *experiments.Runner {
+	if benchRunner == nil {
+		requests := 48
+		if v := os.Getenv("REPRO_BENCH_REQUESTS"); v != "" {
+			if n, err := strconv.Atoi(v); err == nil && n > 0 {
+				requests = n
+			}
+		}
+		benchRunner = experiments.NewRunner(experiments.Params{
+			Requests: requests, Warmup: 6, Seed: 12345,
+		})
+	}
+	return benchRunner
+}
+
+// runExperiment executes one experiment; the first execution in the
+// process prints the rendered artifact.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out io.Writer = io.Discard
+	if !benchPrinted[id] {
+		benchPrinted[id] = true
+		out = os.Stdout
+	}
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(runner(), out); err != nil {
+			b.Fatal(err)
+		}
+		out = io.Discard
+	}
+}
+
+// BenchmarkFig1ModelGrowth regenerates Fig. 1 (historical model growth,
+// synthetic trend per DESIGN.md's substitution table).
+func BenchmarkFig1ModelGrowth(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig3ExampleTrace regenerates Fig. 3 (an example distributed
+// trace rendered as a shard-sliced timeline).
+func BenchmarkFig3ExampleTrace(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4OperatorAttribution regenerates Fig. 4 (operator compute
+// attribution for DRM1/DRM2/DRM3 under the singular configuration).
+func BenchmarkFig4OperatorAttribution(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5TableSizes regenerates Fig. 5 (embedding-table size
+// distributions).
+func BenchmarkFig5TableSizes(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkTable2ShardingResults regenerates Table II (per-shard
+// capacity / table count / pooling under every sharding configuration).
+func BenchmarkTable2ShardingResults(b *testing.B) { runExperiment(b, "tab2") }
+
+// BenchmarkFig6Overheads regenerates Fig. 6 (P50/P90/P99 latency and
+// compute overheads vs singular for DRM1 and DRM2, serial requests).
+func BenchmarkFig6Overheads(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7DRM3Overheads regenerates Fig. 7 (DRM3 overheads:
+// sharding does not help a single-dominating-table model).
+func BenchmarkFig7DRM3Overheads(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8LatencyStacks regenerates Fig. 8 (P50 E2E latency stacks
+// and embedded-portion stacks by configuration).
+func BenchmarkFig8LatencyStacks(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9CPUStacks regenerates Fig. 9 (P50 aggregate CPU stacks).
+func BenchmarkFig9CPUStacks(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10PerShardByNet regenerates Fig. 10 (DRM1 per-shard
+// operator latency by net: load-balanced vs NSBP at 8 shards).
+func BenchmarkFig10PerShardByNet(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11DRM3PerShard regenerates Fig. 11 (DRM3 per-shard
+// latencies and embedded stacks).
+func BenchmarkFig11DRM3PerShard(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12PerShardByStrategy regenerates Fig. 12 (DRM1 per-shard
+// operator latency under all strategies at 8 shards).
+func BenchmarkFig12PerShardByStrategy(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13BatchingLatency regenerates Fig. 13 (default- vs
+// single-batch latency stacks).
+func BenchmarkFig13BatchingLatency(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14BatchingCPU regenerates Fig. 14 (default- vs
+// single-batch CPU stacks).
+func BenchmarkFig14BatchingCPU(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkFig15PlatformEfficiency regenerates Fig. 15 (per-shard
+// operator latency on SC-Large vs SC-Small).
+func BenchmarkFig15PlatformEfficiency(b *testing.B) { runExperiment(b, "fig15") }
+
+// BenchmarkFig16HighQPS regenerates Fig. 16 (DRM1 overheads under
+// open-loop high-QPS load).
+func BenchmarkFig16HighQPS(b *testing.B) { runExperiment(b, "fig16") }
+
+// BenchmarkTable3Compression regenerates Table III (quantization and
+// pruning on DRM1).
+func BenchmarkTable3Compression(b *testing.B) { runExperiment(b, "tab3") }
+
+// BenchmarkReplicationEconomics regenerates the Section VII-C analysis
+// (fleet sizing and memory at equal QPS, singular vs distributed).
+func BenchmarkReplicationEconomics(b *testing.B) { runExperiment(b, "repl") }
+
+// TestExperimentRegistryComplete pins the experiment inventory to the
+// paper's artifact list so a new figure cannot silently go missing.
+func TestExperimentRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig1", "fig3", "fig4", "fig5", "tab2", "fig6", "fig7", "fig8", "fig9",
+		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab3",
+		"repl",
+	}
+	all := experiments.All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Errorf("experiment %d = %s, want %s", i, all[i].ID, id)
+		}
+	}
+	if _, err := experiments.ByID("nope"); err == nil {
+		t.Error("unknown id should error")
+	}
+	fmt.Fprintln(io.Discard) // keep fmt imported for future debugging
+}

@@ -1,0 +1,214 @@
+// Command drmserve runs one shard of a distributed recommendation
+// inference deployment as a standalone process: either the main shard
+// (dense layers + RPC fan-out) or one sparse shard (embedding tables).
+//
+// Every process derives the identical sharding plan from the same flags
+// (models and pooling estimation are deterministic), so a deployment is
+// just N+1 processes agreeing on -model/-strategy/-shards:
+//
+//	drmserve -role sparse -shard 1 -model DRM1 -strategy load-bal -shards 2 -listen 127.0.0.1:7101
+//	drmserve -role sparse -shard 2 -model DRM1 -strategy load-bal -shards 2 -listen 127.0.0.1:7102
+//	drmserve -role main -model DRM1 -strategy load-bal -shards 2 \
+//	    -listen 127.0.0.1:7100 -peers sparse1=127.0.0.1:7101,sparse2=127.0.0.1:7102
+//
+// Then drive it with cmd/replayer against 127.0.0.1:7100.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/netsim"
+	"repro/internal/platform"
+	"repro/internal/rpc"
+	"repro/internal/sharding"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		role      = flag.String("role", "main", "shard role: main or sparse")
+		shardNum  = flag.Int("shard", 1, "sparse shard number (1-based)")
+		modelName = flag.String("model", "DRM1", "model: DRM1, DRM2, DRM3")
+		strategy  = flag.String("strategy", "load-bal", "sharding strategy")
+		shards    = flag.Int("shards", 2, "sparse shard count")
+		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
+		modelFile = flag.String("model-file", "", "load a serialized model (from shardtool -save-model) instead of building")
+		shardFile = flag.String("shard-file", "", "sparse role: serve directly from a shard file (shardtool -export-shards)")
+		peers     = flag.String("peers", "", "main role: comma-separated sparseN=host:port bindings")
+		netDelay  = flag.Bool("netsim", false, "inject data-center link latency")
+	)
+	flag.Parse()
+
+	var m *model.Model
+	if *modelFile != "" {
+		f, err := os.Open(*modelFile)
+		if err != nil {
+			fatal(err)
+		}
+		m, err = model.Load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if m.Config.Name != *modelName {
+			fatal(fmt.Errorf("model file holds %s, flag says %s", m.Config.Name, *modelName))
+		}
+	}
+	cfg := model.ByName(*modelName)
+	if m != nil {
+		cfg = m.Config
+	}
+	pooling := workload.EstimatePooling(workload.NewGenerator(cfg, 991), 200)
+	plan, err := buildPlan(&cfg, *strategy, *shards, pooling)
+	if err != nil {
+		fatal(err)
+	}
+	if m == nil {
+		m = model.Build(cfg)
+	}
+
+	var srv *rpc.Server
+	switch *role {
+	case "sparse":
+		if *shardFile != "" {
+			srv, err = serveSparseFromFile(*shardFile, *listen, *netDelay)
+			break
+		}
+		srv, err = serveSparse(m, plan, *shardNum, *listen, *netDelay)
+	case "main":
+		srv, err = serveMain(m, plan, *listen, *peers, *netDelay)
+	default:
+		err = fmt.Errorf("unknown role %q", *role)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *shardFile != "" {
+		fmt.Printf("drmserve: sparse shard (from %s) on %s\n", *shardFile, srv.Addr())
+	} else {
+		fmt.Printf("drmserve: %s shard serving %s (%s) on %s\n", *role, *modelName, plan.Name(), srv.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+}
+
+// serveSparseFromFile boots a sparse shard straight from a shard file —
+// the shard never materializes the rest of the model.
+func serveSparseFromFile(path, listen string, sim bool) (*rpc.Server, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rec := trace.NewRecorder("sparse", 1<<16)
+	sh, shard, err := core.ImportShard(f, rec)
+	if err != nil {
+		return nil, err
+	}
+	cfg := rpc.ServerConfig{Recorder: rec, BoilerplateCost: platform.BaseBoilerplate}
+	if sim {
+		cfg.ResponseLink = platform.SCLarge().Network(int64(shard)).Response
+	}
+	fmt.Printf("drmserve: %s loaded from %s: %d tables/parts, %.1f MiB\n",
+		sh.ShardName, path, sh.NumTables(), float64(sh.Bytes())/(1<<20))
+	return rpc.NewServer(listen, sh, cfg)
+}
+
+func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, sim bool) (*rpc.Server, error) {
+	if !plan.IsDistributed() {
+		return nil, fmt.Errorf("singular plans have no sparse shards")
+	}
+	if shard < 1 || shard > plan.NumShards {
+		return nil, fmt.Errorf("shard %d outside [1, %d]", shard, plan.NumShards)
+	}
+	recs := make([]*trace.Recorder, plan.NumShards)
+	for i := range recs {
+		recs[i] = trace.NewRecorder(core.ServiceName(i+1), 1<<16)
+	}
+	all, err := core.MaterializeShards(m, plan, recs)
+	if err != nil {
+		return nil, err
+	}
+	sh := all[shard-1]
+	cfg := rpc.ServerConfig{Recorder: recs[shard-1], BoilerplateCost: platform.BaseBoilerplate}
+	if sim {
+		cfg.ResponseLink = platform.SCLarge().Network(int64(shard)).Response
+	}
+	fmt.Printf("drmserve: %s holds %d tables/parts, %.1f MiB\n", sh.ShardName, sh.NumTables(), float64(sh.Bytes())/(1<<20))
+	return rpc.NewServer(listen, sh, cfg)
+}
+
+func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bool) (*rpc.Server, error) {
+	registry := rpc.NewRegistry()
+	if peers != "" {
+		for _, binding := range strings.Split(peers, ",") {
+			name, addr, ok := strings.Cut(strings.TrimSpace(binding), "=")
+			if !ok {
+				return nil, fmt.Errorf("bad peer binding %q (want name=addr)", binding)
+			}
+			registry.Register(name, addr)
+		}
+	}
+	rec := trace.NewRecorder("main", 1<<18)
+	clients := make(map[string]*rpc.Client)
+	eng, err := core.NewEngine(m, plan, core.EngineConfig{
+		Recorder: rec,
+		ClientFor: func(service string) (*rpc.Client, error) {
+			if c, ok := clients[service]; ok {
+				return c, nil
+			}
+			addr, err := registry.Lookup(service)
+			if err != nil {
+				return nil, err
+			}
+			var link *netsim.Link
+			if sim {
+				link = platform.SCLarge().Network(7).Request
+			}
+			c, err := rpc.Dial(addr, link)
+			if err != nil {
+				return nil, err
+			}
+			clients[service] = c
+			return c, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rpc.NewServer(listen, &core.MainService{Engine: eng, Rec: rec}, rpc.ServerConfig{
+		Recorder: rec, BoilerplateCost: platform.BaseBoilerplate,
+	})
+}
+
+func buildPlan(cfg *model.Config, strategy string, n int, pooling map[int]float64) (*sharding.Plan, error) {
+	switch strategy {
+	case sharding.StrategySingular:
+		return sharding.Singular(cfg), nil
+	case sharding.StrategyOneShard:
+		return sharding.OneShard(cfg), nil
+	case sharding.StrategyCapacity:
+		return sharding.CapacityBalanced(cfg, n)
+	case sharding.StrategyLoad:
+		return sharding.LoadBalanced(cfg, n, pooling)
+	case sharding.StrategyNSBP, "nsbp":
+		return sharding.NSBP(cfg, n)
+	}
+	return nil, fmt.Errorf("unknown strategy %q", strategy)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "drmserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Compression: apply the production recipe of Section VII-D — row-wise
+// linear quantization (8-bit, 4-bit for large tables) plus magnitude
+// pruning — to DRM1, and show why compression alone cannot substitute for
+// distributed serving.
+//
+//	go run ./examples/compression
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/sharding"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := model.DRM1()
+	m := model.Build(cfg)
+
+	// "All tables were row-wise linear quantized to at least 8-bits, and
+	// sufficiently large tables were quantized to 4-bits. Tables were
+	// manually pruned ... based on a threshold magnitude."
+	const bigTableThreshold = 1024 * 1024 // = 1 GiB at paper scale
+	compressed := m.Compress(bigTableThreshold, 0.001)
+
+	ratio := float64(m.TotalBytes()) / float64(compressed.TotalBytes())
+	fmt.Printf("%s uncompressed: %.1f MiB\n", cfg.Name, float64(m.TotalBytes())/(1<<20))
+	fmt.Printf("%s quantized+pruned: %.1f MiB (%.2fx smaller; paper: 5.56x)\n",
+		cfg.Name, float64(compressed.TotalBytes())/(1<<20), ratio)
+
+	// Accuracy effect: compare scores between the two builds.
+	rec := trace.NewRecorder("main", 1<<16)
+	engU, err := core.NewEngine(m, sharding.Singular(&cfg), core.EngineConfig{Recorder: rec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	engC, err := core.NewEngine(compressed, sharding.Singular(&cfg), core.EngineConfig{Recorder: rec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen := workload.NewGenerator(cfg, 7)
+	var maxDiff float64
+	for i := 0; i < 5; i++ {
+		req := core.FromWorkload(gen.Next())
+		su, err := engU.Execute(trace.Context{TraceID: uint64(2*i + 1)}, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc, err := engC.Execute(trace.Context{TraceID: uint64(2*i + 2)}, req)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for j := range su {
+			if d := math.Abs(float64(su[j] - sc[j])); d > maxDiff {
+				maxDiff = d
+			}
+		}
+	}
+	fmt.Printf("max score deviation across 5 requests: %.5f (quantization noise)\n", maxDiff)
+
+	// The paper's conclusion: even compressed, large models do not fit on
+	// one, two, or four commodity web servers. Undo the reproduction's
+	// 1024x scaling to state it at data-center size, remembering the
+	// paper's DRM1 was itself scaled down to fit a 256GB box ("the
+	// original data-center scale models are many times larger").
+	small := platform.SCSmall()
+	usable := float64(small.MemoryBytes) * 0.8 // leave room for the stack
+	needed := float64(compressed.SparseTableBytes())
+	fmt.Printf("\ncompressed sparse parameters: %.1f MiB scaled = %.1f GiB at paper scale\n",
+		needed/(1<<20), needed*1024/(1<<30))
+	fmt.Printf("usable DRAM per commodity server: %.1f MiB scaled (~%.0f GB at paper scale)\n",
+		usable/(1<<20), usable*1024/(1<<30))
+	fmt.Printf("=> even compressed, the (already down-scaled) model fills %.1f commodity servers;\n", needed/usable)
+	fmt.Println("   production models are many times larger: compression complements, not replaces, distribution")
+}

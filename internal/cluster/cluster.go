@@ -1,0 +1,220 @@
+// Package cluster boots a complete distributed-inference deployment on
+// loopback TCP: one main shard (engine + RPC service) plus the sparse
+// shards a plan calls for, each with its own tracer, injected network
+// links, and platform model. It is the in-process stand-in for the
+// paper's reserved bare-metal servers "located in the same data centers
+// as production recommendation ranking".
+package cluster
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/platform"
+	"repro/internal/rpc"
+	"repro/internal/sharding"
+	"repro/internal/trace"
+)
+
+// Options tune a cluster boot.
+type Options struct {
+	// BatchSize overrides the model's default batch size (0 keeps it).
+	BatchSize int
+	// SparsePlatform selects the sparse shards' server class; defaults to
+	// SC-Large as in the paper's apples-to-apples runs.
+	SparsePlatform *platform.Platform
+	// SpanCapacity sizes each recorder's span slab (default 1<<18).
+	SpanCapacity int
+	// Seed drives network jitter and clock-skew simulation.
+	Seed int64
+	// ClockSkew, when true, gives every shard a distinct simulated clock
+	// offset (±up to 200ms) to exercise the analyzer's skew immunity.
+	ClockSkew bool
+}
+
+// Cluster is a running deployment.
+type Cluster struct {
+	Model     *model.Model
+	Plan      *sharding.Plan
+	Registry  *rpc.Registry
+	Collector *trace.Collector
+	MainRec   *trace.Recorder
+
+	Engine     *core.Engine
+	mainServer *rpc.Server
+	sparse     []*rpc.Server
+	clients    map[string]*rpc.Client
+}
+
+// gcTuneOnce relaxes the collector for measurement runs: the request
+// path allocates several MB per request against a modest live heap, and
+// default GOGC triggers collections frequently enough that GC assists
+// visibly stretch operator spans. This is a measurement-harness decision,
+// applied once per process at first cluster boot.
+var gcTuneOnce sync.Once
+
+// Boot materializes shards, starts all servers, connects all clients,
+// and compiles the main-shard engine. Call Close to tear down.
+func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
+	gcTuneOnce.Do(func() { debug.SetGCPercent(400) })
+	if opts.SpanCapacity == 0 {
+		opts.SpanCapacity = 1 << 18
+	}
+	plat := platform.SCLarge()
+	if opts.SparsePlatform != nil {
+		plat = *opts.SparsePlatform
+	}
+
+	c := &Cluster{
+		Model:     m,
+		Plan:      plan,
+		Registry:  rpc.NewRegistry(),
+		Collector: trace.NewCollector(),
+		clients:   make(map[string]*rpc.Client),
+	}
+	c.MainRec = trace.NewRecorder("main", opts.SpanCapacity)
+	c.Collector.Attach(c.MainRec)
+	skew := skewFor(opts, 0)
+	c.MainRec.SetClockSkew(skew)
+
+	ok := false
+	defer func() {
+		if !ok {
+			c.Close()
+		}
+	}()
+
+	if plan.IsDistributed() {
+		recs := make([]*trace.Recorder, plan.NumShards)
+		for i := range recs {
+			recs[i] = trace.NewRecorder(core.ServiceName(i+1), opts.SpanCapacity)
+			recs[i].SetClockSkew(skewFor(opts, i+1))
+			c.Collector.Attach(recs[i])
+		}
+		shards, err := core.MaterializeShards(m, plan, recs)
+		if err != nil {
+			return nil, err
+		}
+		for i, sh := range shards {
+			sh.OpComputeScale = plat.OpComputeScale
+			profile := plat.Network(opts.Seed + int64(i)*7919)
+			srv, err := rpc.NewServer("127.0.0.1:0", sh, rpc.ServerConfig{
+				Recorder:        recs[i],
+				ResponseLink:    profile.Response,
+				BoilerplateCost: platform.BaseBoilerplate,
+				ComputeScale:    plat.BoilerplateScale,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("cluster: starting %s: %w", sh.ShardName, err)
+			}
+			c.sparse = append(c.sparse, srv)
+			c.Registry.Register(sh.ShardName, srv.Addr())
+
+			client, err := rpc.Dial(srv.Addr(), profile.Request)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: dialing %s: %w", sh.ShardName, err)
+			}
+			c.clients[sh.ShardName] = client
+		}
+	}
+
+	// Pre-fault every table's storage so the first measured requests do
+	// not pay page-in costs that later configurations (sharing the warm
+	// process) would not — the moral equivalent of a production loader
+	// touching the model after deserialization.
+	for _, t := range m.Tables {
+		touchTable(t)
+	}
+
+	eng, err := core.NewEngine(m, plan, core.EngineConfig{
+		BatchSize: opts.BatchSize,
+		Recorder:  c.MainRec,
+		ClientFor: func(service string) (*rpc.Client, error) {
+			cl, ok := c.clients[service]
+			if !ok {
+				return nil, fmt.Errorf("cluster: no client for %s", service)
+			}
+			return cl, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.Engine = eng
+
+	mainSrv, err := rpc.NewServer("127.0.0.1:0", &core.MainService{Engine: eng, Rec: c.MainRec}, rpc.ServerConfig{
+		Recorder:        c.MainRec,
+		BoilerplateCost: platform.BaseBoilerplate,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: starting main shard: %w", err)
+	}
+	c.mainServer = mainSrv
+	c.Registry.Register("main", mainSrv.Addr())
+	ok = true
+	return c, nil
+}
+
+// touchTable walks a table's backing storage to fault it in.
+func touchTable(t interface{ Bytes() int64 }) {
+	switch tt := t.(type) {
+	case *embedding.Dense:
+		var sink float32
+		for i := 0; i < len(tt.Data); i += 1024 {
+			sink += tt.Data[i]
+		}
+		_ = sink
+	default:
+		// Quantized backends are built by transformation and already warm.
+	}
+}
+
+// skewFor derives a deterministic per-shard clock offset.
+func skewFor(opts Options, shard int) time.Duration {
+	if !opts.ClockSkew {
+		return 0
+	}
+	// Simple splitmix-style hash of (seed, shard) to ±200ms.
+	x := uint64(opts.Seed)*0x9e3779b97f4a7c15 + uint64(shard+1)*0xbf58476d1ce4e5b9
+	x ^= x >> 31
+	ms := int64(x%401) - 200
+	return time.Duration(ms) * time.Millisecond
+}
+
+// MainAddr returns the main shard's serving address.
+func (c *Cluster) MainAddr() string { return c.mainServer.Addr() }
+
+// DialMain connects a replayer client to the main shard.
+func (c *Cluster) DialMain() (*rpc.Client, error) {
+	return rpc.Dial(c.MainAddr(), nil)
+}
+
+// ResetTraces clears all recorded spans (used after warmup).
+func (c *Cluster) ResetTraces() { c.Collector.Reset() }
+
+// KillSparse abruptly stops the i-th sparse shard server (0-based), for
+// failure-injection tests: in a serving fleet shards "may fail and need
+// to restart".
+func (c *Cluster) KillSparse(i int) {
+	if i >= 0 && i < len(c.sparse) {
+		c.sparse[i].Close()
+	}
+}
+
+// Close tears down clients and servers; safe on partially built clusters.
+func (c *Cluster) Close() {
+	for _, cl := range c.clients {
+		cl.Close()
+	}
+	for _, s := range c.sparse {
+		s.Close()
+	}
+	if c.mainServer != nil {
+		c.mainServer.Close()
+	}
+}

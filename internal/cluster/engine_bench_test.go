@@ -1,0 +1,32 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sharding"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// BenchmarkEngineSingularDRM1 measures raw engine throughput (no RPC
+// front door): one full DRM1 ranking request per iteration.
+func BenchmarkEngineSingularDRM1(b *testing.B) {
+	cfg := model.ByName("DRM1")
+	m := model.Build(cfg)
+	rec := trace.NewRecorder("main", 1<<22)
+	eng, _ := core.NewEngine(m, sharding.Singular(&cfg), core.EngineConfig{Recorder: rec})
+	gen := workload.NewGenerator(cfg, 1)
+	reqs := gen.GenerateBatch(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := reqs[i%20]
+		if _, err := eng.Execute(trace.Context{TraceID: uint64(i + 1)}, core.FromWorkload(req)); err != nil {
+			b.Fatal(err)
+		}
+		if rec.Len() > 1<<21 {
+			rec.Reset()
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package cluster_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sharding"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// tinyDRM3 shrinks DRM3 while keeping its defining structure: one
+// dominating table (row-partitioned under NSBP) plus a tail of small
+// tables, single net, per-request user feature on table 0.
+func tinyDRM3() model.Config {
+	cfg := model.DRM3()
+	cfg.Tables[0].Rows = 4096 // dominating table, partitioned under NSBP
+	for i := 1; i < len(cfg.Tables); i++ {
+		cfg.Tables[i].Rows = 48
+		cfg.Tables[i].PoolingFactor = 1.5
+	}
+	cfg.MeanItems = 5
+	cfg.DefaultBatch = 3
+	return cfg
+}
+
+// TestPartitionedTablesMatchSingular verifies the full distributed path
+// for row-partitioned tables: NSBP places the dominating table's
+// partitions on dedicated shards, the RPC ops split and localize indices
+// by modulus, collectors sum partial pools — and scores must equal the
+// singular model's.
+func TestPartitionedTablesMatchSingular(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := tinyDRM3()
+	m := model.Build(cfg)
+	reqs := workload.NewGenerator(cfg, 77).GenerateBatch(4)
+
+	// Ground truth: singular execution.
+	rec := trace.NewRecorder("main", 1<<16)
+	eng, err := core.NewEngine(m, sharding.Singular(&cfg), core.EngineConfig{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]float32
+	for i, req := range reqs {
+		scores, err := eng.Execute(trace.Context{TraceID: uint64(i + 1)}, core.FromWorkload(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, scores)
+	}
+
+	for _, n := range []int{4, 8} {
+		plan, err := sharding.NSBP(&cfg, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sanity: the plan actually partitions the dominating table (the
+		// shrunken test config's tail may take one extra bin, so allow
+		// n−1 or n−2 partitions).
+		parts := 0
+		for i := range plan.Shards {
+			parts += len(plan.Shards[i].Parts)
+		}
+		if parts < n-2 || parts < 2 {
+			t.Fatalf("NSBP-%d has %d partition shards, want ≥ %d", n, parts, n-2)
+		}
+
+		cl, err := cluster.Boot(m, plan, cluster.Options{Seed: 3, ClockSkew: true, SpanCapacity: 1 << 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, req := range reqs {
+			got, err := cl.Engine.Execute(trace.Context{TraceID: uint64(100 + i)}, core.FromWorkload(req))
+			if err != nil {
+				cl.Close()
+				t.Fatal(err)
+			}
+			for j := range got {
+				if diff := math.Abs(float64(got[j] - want[i][j])); diff > 1e-5 {
+					cl.Close()
+					t.Fatalf("NSBP-%d req %d item %d: %v vs singular %v", n, i, j, got[j], want[i][j])
+				}
+			}
+		}
+
+		// The paper's access property: the per-request user feature hits
+		// exactly one partition, so only two shards serve any request.
+		spans := cl.Collector.Gather()
+		bs := trace.Analyze(spans, "main")
+		for _, b := range bs {
+			// Tail tables may span two bins in the shrunken config, so a
+			// request touches at most 3 shards (1 partition + ≤2 tail
+			// bins) per batch, over up to 3 batches.
+			maxCalls := 3 * 3
+			if b.RPCCalls > maxCalls {
+				t.Errorf("NSBP-%d trace %d: %d RPC calls, want ≤ %d",
+					n, b.TraceID, b.RPCCalls, maxCalls)
+			}
+		}
+		cl.Close()
+	}
+}
+
+// TestPartitionedPerRequestFeatureRouting pins the single-partition-hit
+// property at the bag level: all of a request's lookups for the
+// dominating table route to exactly one modulus partition.
+func TestPartitionedPerRequestFeatureRouting(t *testing.T) {
+	cfg := tinyDRM3()
+	gen := workload.NewGenerator(cfg, 5)
+	for i := 0; i < 20; i++ {
+		req := gen.Next()
+		bags := req.Bags[0]
+		const parts = 7
+		seen := map[int32]bool{}
+		for _, bag := range bags {
+			for _, idx := range bag.Indices {
+				seen[idx%parts] = true
+			}
+		}
+		if len(seen) != 1 {
+			t.Fatalf("request %d: user feature hits %d partitions, want 1", req.ID, len(seen))
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package core implements the distributed inference runtime: the main
+// shard engine that executes dense layers and replaces sparse operators
+// with asynchronous RPC operators, the sparse shard service that serves
+// embedding lookups, and the binary payload codecs between them.
+//
+// This is the Go analogue of the paper's customized Thrift + Caffe2 stack
+// (Section III-C): the engine compiles a model.Model plus a sharding.Plan
+// into per-net programs; requests are split into batches executed in
+// parallel; each batch's RPC operators fan out asynchronously to the
+// sparse shards holding that net's tables and the pooled results are
+// merged (for row-partitioned tables, partial pools are summed — exact,
+// because sum pooling distributes over row partitions).
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// SparseEntry identifies one table (or one row-partition of a table) in a
+// sparse RPC, together with the bags to pool. PartIndex/NumParts are
+// (0, 1) for whole tables; for partitions, bag indices are already
+// localized (logical/NumParts) by the caller.
+type SparseEntry struct {
+	TableID   int32
+	PartIndex int32
+	NumParts  int32
+	Bags      []embedding.Bag
+}
+
+// SparseRequest asks one sparse shard to pool a set of entries belonging
+// to one net.
+type SparseRequest struct {
+	Net     string
+	Entries []SparseEntry
+}
+
+// PooledEntry is one pooled (or partially pooled) result: a bags×dim
+// matrix for the table.
+type PooledEntry struct {
+	TableID   int32
+	PartIndex int32
+	Rows      int32
+	Cols      int32
+	Data      []float32
+}
+
+// SparseResponse carries pooled results for every requested entry, in
+// request order.
+type SparseResponse struct {
+	Entries []PooledEntry
+}
+
+// RankingRequest is the wire form of a workload request hitting the main
+// shard: per-net dense features plus per-table raw sparse ID bags.
+type RankingRequest struct {
+	ID    uint64
+	Items int32
+	// Dense holds one matrix per net, keyed by net name.
+	Dense map[string]*tensor.Matrix
+	// Bags holds raw sparse IDs per table ID.
+	Bags map[int32][]embedding.Bag
+}
+
+// RankingResponse carries one score per item.
+type RankingResponse struct {
+	Scores []float32
+}
+
+var errTruncated = errors.New("core: truncated payload")
+
+// buffer is a minimal append-only encoder.
+type buffer struct{ b []byte }
+
+func (w *buffer) u32(v uint32) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	w.b = append(w.b, tmp[:]...)
+}
+func (w *buffer) u64(v uint64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	w.b = append(w.b, tmp[:]...)
+}
+func (w *buffer) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *buffer) f32s(xs []float32) {
+	w.u32(uint32(len(xs)))
+	off := len(w.b)
+	w.b = append(w.b, make([]byte, 4*len(xs))...)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(w.b[off+4*i:], math.Float32bits(x))
+	}
+}
+func (w *buffer) i32s(xs []int32) {
+	w.u32(uint32(len(xs)))
+	off := len(w.b)
+	w.b = append(w.b, make([]byte, 4*len(xs))...)
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(w.b[off+4*i:], uint32(x))
+	}
+}
+func (w *buffer) bags(bags []embedding.Bag) {
+	w.u32(uint32(len(bags)))
+	for _, bag := range bags {
+		w.i32s(bag.Indices)
+	}
+}
+
+// reader is the matching decoder.
+type reader struct{ b []byte }
+
+func (r *reader) u32() (uint32, error) {
+	if len(r.b) < 4 {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v, nil
+}
+func (r *reader) u64() (uint64, error) {
+	if len(r.b) < 8 {
+		return 0, errTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v, nil
+}
+func (r *reader) str() (string, error) {
+	n, err := r.u32()
+	if err != nil || uint32(len(r.b)) < n {
+		return "", errTruncated
+	}
+	s := string(r.b[:n])
+	r.b = r.b[n:]
+	return s, nil
+}
+func (r *reader) f32s() ([]float32, error) {
+	n, err := r.u32()
+	if err != nil || uint64(len(r.b)) < uint64(n)*4 {
+		return nil, errTruncated
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(r.b[4*i:]))
+	}
+	r.b = r.b[4*n:]
+	return out, nil
+}
+func (r *reader) i32s() ([]int32, error) {
+	n, err := r.u32()
+	if err != nil || uint64(len(r.b)) < uint64(n)*4 {
+		return nil, errTruncated
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(r.b[4*i:]))
+	}
+	r.b = r.b[4*n:]
+	return out, nil
+}
+func (r *reader) bags() ([]embedding.Bag, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]embedding.Bag, n)
+	for i := range out {
+		idx, err := r.i32s()
+		if err != nil {
+			return nil, err
+		}
+		if len(idx) > 0 {
+			out[i].Indices = idx
+		}
+	}
+	return out, nil
+}
+
+// EncodeSparseRequest serializes a sparse RPC request.
+func EncodeSparseRequest(req *SparseRequest) []byte {
+	var w buffer
+	w.str(req.Net)
+	w.u32(uint32(len(req.Entries)))
+	for _, e := range req.Entries {
+		w.u32(uint32(e.TableID))
+		w.u32(uint32(e.PartIndex))
+		w.u32(uint32(e.NumParts))
+		w.bags(e.Bags)
+	}
+	return w.b
+}
+
+// DecodeSparseRequest parses a sparse RPC request.
+func DecodeSparseRequest(b []byte) (*SparseRequest, error) {
+	r := reader{b: b}
+	net, err := r.str()
+	if err != nil {
+		return nil, fmt.Errorf("core: sparse request net: %w", err)
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := &SparseRequest{Net: net, Entries: make([]SparseEntry, n)}
+	for i := range out.Entries {
+		e := &out.Entries[i]
+		var v uint32
+		if v, err = r.u32(); err != nil {
+			return nil, err
+		}
+		e.TableID = int32(v)
+		if v, err = r.u32(); err != nil {
+			return nil, err
+		}
+		e.PartIndex = int32(v)
+		if v, err = r.u32(); err != nil {
+			return nil, err
+		}
+		e.NumParts = int32(v)
+		if e.Bags, err = r.bags(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// EncodeSparseResponse serializes pooled results.
+func EncodeSparseResponse(resp *SparseResponse) []byte {
+	var w buffer
+	w.u32(uint32(len(resp.Entries)))
+	for _, e := range resp.Entries {
+		w.u32(uint32(e.TableID))
+		w.u32(uint32(e.PartIndex))
+		w.u32(uint32(e.Rows))
+		w.u32(uint32(e.Cols))
+		w.f32s(e.Data)
+	}
+	return w.b
+}
+
+// DecodeSparseResponse parses pooled results.
+func DecodeSparseResponse(b []byte) (*SparseResponse, error) {
+	r := reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := &SparseResponse{Entries: make([]PooledEntry, n)}
+	for i := range out.Entries {
+		e := &out.Entries[i]
+		var v uint32
+		if v, err = r.u32(); err != nil {
+			return nil, err
+		}
+		e.TableID = int32(v)
+		if v, err = r.u32(); err != nil {
+			return nil, err
+		}
+		e.PartIndex = int32(v)
+		if v, err = r.u32(); err != nil {
+			return nil, err
+		}
+		e.Rows = int32(v)
+		if v, err = r.u32(); err != nil {
+			return nil, err
+		}
+		e.Cols = int32(v)
+		if e.Data, err = r.f32s(); err != nil {
+			return nil, err
+		}
+		if int32(len(e.Data)) != e.Rows*e.Cols {
+			return nil, fmt.Errorf("core: pooled entry %d has %d values for %dx%d", i, len(e.Data), e.Rows, e.Cols)
+		}
+	}
+	return out, nil
+}
+
+// EncodeRankingRequest serializes a ranking request.
+func EncodeRankingRequest(req *RankingRequest) []byte {
+	var w buffer
+	w.u64(req.ID)
+	w.u32(uint32(req.Items))
+	w.u32(uint32(len(req.Dense)))
+	for _, name := range sortedKeys(req.Dense) {
+		m := req.Dense[name]
+		w.str(name)
+		w.u32(uint32(m.Rows))
+		w.u32(uint32(m.Cols))
+		w.f32s(m.Data)
+	}
+	w.u32(uint32(len(req.Bags)))
+	for _, tid := range sortedBagKeys(req.Bags) {
+		w.u32(uint32(tid))
+		w.bags(req.Bags[tid])
+	}
+	return w.b
+}
+
+// DecodeRankingRequest parses a ranking request.
+func DecodeRankingRequest(b []byte) (*RankingRequest, error) {
+	r := reader{b: b}
+	id, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	items, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := &RankingRequest{ID: id, Items: int32(items), Dense: map[string]*tensor.Matrix{}, Bags: map[int32][]embedding.Bag{}}
+	nd, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nd; i++ {
+		name, err := r.str()
+		if err != nil {
+			return nil, err
+		}
+		rows, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		cols, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		data, err := r.f32s()
+		if err != nil {
+			return nil, err
+		}
+		if uint32(len(data)) != rows*cols {
+			return nil, fmt.Errorf("core: dense %q has %d values for %dx%d", name, len(data), rows, cols)
+		}
+		out.Dense[name] = tensor.FromSlice(int(rows), int(cols), data)
+	}
+	nb, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	for i := uint32(0); i < nb; i++ {
+		tid, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		bags, err := r.bags()
+		if err != nil {
+			return nil, err
+		}
+		out.Bags[int32(tid)] = bags
+	}
+	return out, nil
+}
+
+// EncodeRankingResponse serializes scores.
+func EncodeRankingResponse(resp *RankingResponse) []byte {
+	var w buffer
+	w.f32s(resp.Scores)
+	return w.b
+}
+
+// DecodeRankingResponse parses scores.
+func DecodeRankingResponse(b []byte) (*RankingResponse, error) {
+	r := reader{b: b}
+	scores, err := r.f32s()
+	if err != nil {
+		return nil, err
+	}
+	return &RankingResponse{Scores: scores}, nil
+}
+
+func sortedKeys(m map[string]*tensor.Matrix) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedBagKeys(m map[int32][]embedding.Bag) []int32 {
+	out := make([]int32, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,439 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/sharding"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func tinyConfig() model.Config {
+	cfg := model.DRM2()
+	for i := range cfg.Tables {
+		cfg.Tables[i].Rows = 32
+		cfg.Tables[i].PoolingFactor = 2
+	}
+	cfg.MeanItems = 4
+	cfg.DefaultBatch = 2
+	return cfg
+}
+
+func TestCollectorSingleSourceIntoEmb(t *testing.T) {
+	asm := newEmbAssembler(2, 5, 1)
+	inter := nn.NewFuture()
+	c := newCollector(1, 2, 3, asm, 1, inter)
+	m := tensor.FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	c.deliver(m, nil)
+	emb, err := asm.future.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Columns [1,4) of each row must hold the pooled values.
+	if emb.At(0, 1) != 1 || emb.At(0, 3) != 3 || emb.At(1, 2) != 5 {
+		t.Fatalf("emb = %v", emb.Data)
+	}
+	if emb.At(0, 0) != 0 || emb.At(0, 4) != 0 {
+		t.Fatal("columns outside the table range must stay zero")
+	}
+	got, err := inter.Wait()
+	if err != nil || got != m {
+		t.Fatalf("interact future: %v, %v", got, err)
+	}
+}
+
+func TestCollectorMergesPartials(t *testing.T) {
+	asm := newEmbAssembler(1, 2, 1)
+	c := newCollector(3, 1, 2, asm, 0, nil)
+	c.deliver(tensor.FromSlice(1, 2, []float32{1, 10}), nil)
+	c.deliver(nil, nil) // skipped source contributes zeros
+	c.deliver(tensor.FromSlice(1, 2, []float32{2, 20}), nil)
+	emb, err := asm.future.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emb.Data[0] != 3 || emb.Data[1] != 30 {
+		t.Errorf("merged = %v", emb.Data)
+	}
+}
+
+func TestCollectorAllSkippedZeroFills(t *testing.T) {
+	asm := newEmbAssembler(3, 4, 1)
+	c := newCollector(2, 3, 4, asm, 0, nil)
+	c.deliver(nil, nil)
+	c.deliver(nil, nil)
+	emb, err := asm.future.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range emb.Data {
+		if v != 0 {
+			t.Fatal("zero-fill should be zeros")
+		}
+	}
+}
+
+func TestCollectorErrorWins(t *testing.T) {
+	asm := newEmbAssembler(1, 1, 1)
+	inter := nn.NewFuture()
+	c := newCollector(2, 1, 1, asm, 0, inter)
+	c.deliver(nil, errors.New("shard down"))
+	c.deliver(tensor.New(1, 1), nil) // late success ignored
+	if _, err := asm.future.Wait(); err == nil {
+		t.Fatal("error should propagate to the emb future")
+	}
+	if _, err := inter.Wait(); err == nil {
+		t.Fatal("error should propagate to the interact future")
+	}
+}
+
+func TestCollectorShapeMismatch(t *testing.T) {
+	asm := newEmbAssembler(1, 2, 1)
+	c := newCollector(2, 1, 2, asm, 0, nil)
+	c.deliver(tensor.New(1, 3), nil)
+	if _, err := asm.future.Wait(); err == nil {
+		t.Fatal("shape mismatch should fail")
+	}
+}
+
+func TestEmbAssemblerWaitsForAllTables(t *testing.T) {
+	asm := newEmbAssembler(1, 4, 2)
+	c1 := newCollector(1, 1, 2, asm, 0, nil)
+	c2 := newCollector(1, 1, 2, asm, 2, nil)
+	c1.deliver(tensor.FromSlice(1, 2, []float32{1, 2}), nil)
+	select {
+	case <-futureDone(asm.future):
+		t.Fatal("emb future completed before all tables delivered")
+	default:
+	}
+	c2.deliver(tensor.FromSlice(1, 2, []float32{3, 4}), nil)
+	emb, err := asm.future.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{1, 2, 3, 4}
+	for i, w := range want {
+		if emb.Data[i] != w {
+			t.Fatalf("emb = %v", emb.Data)
+		}
+	}
+}
+
+// futureDone adapts Future.Wait into a selectable channel.
+func futureDone(f *nn.Future) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		f.Wait()
+		close(ch)
+	}()
+	return ch
+}
+
+func TestLocalizeBags(t *testing.T) {
+	bags := []embedding.Bag{
+		{Indices: []int32{0, 1, 2, 3, 4, 5}},
+		{Indices: []int32{7}},
+	}
+	out := localizeBags(bags, 1, 3) // indices ≡1 mod 3: 1, 4, 7
+	if len(out) != 2 {
+		t.Fatal("bag count changed")
+	}
+	if got := out[0].Indices; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("bag0 = %v (want local [0 1] from 1,4)", got)
+	}
+	if got := out[1].Indices; len(got) != 1 || got[0] != 2 {
+		t.Errorf("bag1 = %v (want [2] from 7)", got)
+	}
+}
+
+func TestSparseShardHandle(t *testing.T) {
+	rec := trace.NewRecorder("sparse1", 1024)
+	sh := NewSparseShard("sparse1", rec)
+	tab := embedding.NewDense(8, 2)
+	for r := 0; r < 8; r++ {
+		tab.Row(r)[0] = float32(r)
+	}
+	sh.AddTable(5, tab)
+	if sh.NumTables() != 1 || sh.Bytes() != tab.Bytes() {
+		t.Fatal("shard accounting wrong")
+	}
+
+	req := &SparseRequest{Net: "net1", Entries: []SparseEntry{{
+		TableID: 5, NumParts: 1,
+		Bags: []embedding.Bag{{Indices: []int32{1, 2}}, {Indices: []int32{7}}},
+	}}}
+	out, err := sh.Handle(trace.Context{TraceID: 9, CallID: 4}, "sparse.run", EncodeSparseRequest(req))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := DecodeSparseResponse(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Entries) != 1 || resp.Entries[0].Rows != 2 || resp.Entries[0].Cols != 2 {
+		t.Fatalf("resp shape wrong: %+v", resp.Entries)
+	}
+	if resp.Entries[0].Data[0] != 3 { // rows 1+2 pooled
+		t.Errorf("pooled = %v", resp.Entries[0].Data)
+	}
+	// Spans carry the call context for cross-layer attribution.
+	var sawSerde, sawOp bool
+	for _, sp := range rec.Spans() {
+		if sp.TraceID != 9 || sp.CallID != 4 {
+			t.Errorf("span missing context: %+v", sp)
+		}
+		switch sp.Layer {
+		case trace.LayerSerDe:
+			sawSerde = true
+		case trace.LayerOp:
+			sawOp = true
+			if sp.Kind != "Sparse" {
+				t.Errorf("op span kind = %s", sp.Kind)
+			}
+		}
+	}
+	if !sawSerde || !sawOp {
+		t.Error("missing serde/op spans")
+	}
+}
+
+func TestSparseShardRejectsUnknownTable(t *testing.T) {
+	sh := NewSparseShard("s", trace.NewRecorder("s", 64))
+	req := &SparseRequest{Net: "n", Entries: []SparseEntry{{TableID: 1, NumParts: 1, Bags: []embedding.Bag{{}}}}}
+	if _, err := sh.Handle(trace.Context{}, "sparse.run", EncodeSparseRequest(req)); err == nil || !strings.Contains(err.Error(), "does not hold") {
+		t.Errorf("err = %v", err)
+	}
+	if _, err := sh.Handle(trace.Context{}, "bogus", nil); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if _, err := sh.Handle(trace.Context{}, "sparse.run", []byte{1}); err == nil {
+		t.Error("garbage body should fail")
+	}
+}
+
+func TestMaterializeShards(t *testing.T) {
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	plan, err := sharding.CapacityBalanced(&cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*trace.Recorder{
+		trace.NewRecorder("sparse1", 8), trace.NewRecorder("sparse2", 8), trace.NewRecorder("sparse3", 8),
+	}
+	shards, err := MaterializeShards(m, plan, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	var bytes int64
+	for _, sh := range shards {
+		total += sh.NumTables()
+		bytes += sh.Bytes()
+	}
+	if total != len(cfg.Tables) {
+		t.Errorf("%d tables materialized, want %d", total, len(cfg.Tables))
+	}
+	if bytes != m.SparseTableBytes() {
+		t.Errorf("shard bytes %d != model %d", bytes, m.SparseTableBytes())
+	}
+}
+
+func TestMaterializeShardsWithPartitions(t *testing.T) {
+	cfg := model.DRM3()
+	for i := range cfg.Tables {
+		if i == 0 {
+			cfg.Tables[i].Rows = 1024
+		} else {
+			cfg.Tables[i].Rows = 16
+		}
+	}
+	m := model.Build(cfg)
+	plan, err := sharding.NSBP(&cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := make([]*trace.Recorder, 4)
+	for i := range recs {
+		recs[i] = trace.NewRecorder(ServiceName(i+1), 8)
+	}
+	shards, err := MaterializeShards(m, plan, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partitioned rows must sum to the original table.
+	var partRows int
+	for _, sh := range shards {
+		for key, tab := range shardTables(sh) {
+			if key.id == 0 {
+				partRows += tab.NumRows()
+			}
+		}
+	}
+	if partRows < 1024 {
+		t.Errorf("partition rows %d < original 1024", partRows)
+	}
+}
+
+// shardTables exposes the private map for the materialization test.
+func shardTables(s *SparseShard) map[tableKey]embedding.Table { return s.tables }
+
+func TestMaterializeErrors(t *testing.T) {
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	if _, err := MaterializeShards(m, sharding.Singular(&cfg), nil); err == nil {
+		t.Error("singular plan should fail")
+	}
+	plan, _ := sharding.CapacityBalanced(&cfg, 2)
+	if _, err := MaterializeShards(m, plan, []*trace.Recorder{trace.NewRecorder("x", 1)}); err == nil {
+		t.Error("recorder count mismatch should fail")
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	if _, err := NewEngine(m, sharding.Singular(&cfg), EngineConfig{}); err == nil {
+		t.Error("missing recorder should fail")
+	}
+	rec := trace.NewRecorder("main", 64)
+	plan, _ := sharding.CapacityBalanced(&cfg, 2)
+	if _, err := NewEngine(m, plan, EngineConfig{Recorder: rec}); err == nil {
+		t.Error("distributed plan without ClientFor should fail")
+	}
+	bad := &sharding.Plan{ModelName: cfg.Name, Strategy: sharding.StrategyCapacity, NumShards: 1}
+	if _, err := NewEngine(m, bad, EngineConfig{Recorder: rec}); err == nil {
+		t.Error("invalid plan should fail")
+	}
+}
+
+func TestEngineRejectsMalformedRequests(t *testing.T) {
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	rec := trace.NewRecorder("main", 1<<14)
+	eng, err := NewEngine(m, sharding.Singular(&cfg), EngineConfig{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(cfg, 1)
+	good := FromWorkload(gen.Next())
+
+	// Zero items.
+	bad := *good
+	bad.Items = 0
+	if _, err := eng.Execute(trace.Context{TraceID: 1}, &bad); err == nil {
+		t.Error("zero items should fail")
+	}
+	// Missing dense net.
+	bad2 := *good
+	bad2.Dense = map[string]*tensor.Matrix{}
+	if _, err := eng.Execute(trace.Context{TraceID: 2}, &bad2); err == nil {
+		t.Error("missing dense should fail")
+	}
+	// Bags length mismatch.
+	bad3 := *good
+	bad3.Bags = map[int32][]embedding.Bag{}
+	if _, err := eng.Execute(trace.Context{TraceID: 3}, &bad3); err == nil {
+		t.Error("missing bags should fail")
+	}
+}
+
+func TestEngineSingularDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	rec := trace.NewRecorder("main", 1<<16)
+	eng, err := NewEngine(m, sharding.Singular(&cfg), EngineConfig{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := FromWorkload(workload.NewGenerator(cfg, 2).Next())
+	s1, err := eng.Execute(trace.Context{TraceID: 1}, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := eng.Execute(trace.Context{TraceID: 2}, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatal("same request must score identically")
+		}
+	}
+	for _, s := range s1 {
+		if s < 0 || s > 1 {
+			t.Errorf("score %v outside sigmoid range", s)
+		}
+	}
+}
+
+func TestEngineBatchSplitEquivalence(t *testing.T) {
+	// Scores must not depend on the batch size.
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	req := FromWorkload(workload.NewGenerator(cfg, 3).Next())
+	var ref []float32
+	for _, b := range []int{1, 2, 100} {
+		rec := trace.NewRecorder("main", 1<<16)
+		eng, err := NewEngine(m, sharding.Singular(&cfg), EngineConfig{Recorder: rec, BatchSize: b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := eng.Execute(trace.Context{TraceID: uint64(b)}, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		for i := range got {
+			if got[i] != ref[i] {
+				t.Fatalf("batch %d: score %d differs: %v vs %v", b, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestPickInteract(t *testing.T) {
+	tables := []model.TableSpec{
+		{ID: 0, Dim: 16}, {ID: 1, Dim: 8}, {ID: 2, Dim: 8}, {ID: 3, Dim: 8},
+	}
+	got := pickInteract(tables, 2)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("pickInteract = %v, want [1 2] (tail dim 8)", got)
+	}
+	if pickInteract(nil, 3) != nil {
+		t.Error("empty tables should yield nil")
+	}
+	if pickInteract(tables, 0) != nil {
+		t.Error("k=0 should yield nil")
+	}
+}
+
+func TestFromWorkload(t *testing.T) {
+	cfg := tinyConfig()
+	req := workload.NewGenerator(cfg, 4).Next()
+	wire := FromWorkload(req)
+	if wire.ID != req.ID || int(wire.Items) != req.Items {
+		t.Fatal("header mismatch")
+	}
+	if len(wire.Bags) != len(req.Bags) {
+		t.Fatal("bags mismatch")
+	}
+	rng := rand.New(rand.NewSource(1))
+	_ = rng
+}
+
+func TestServiceName(t *testing.T) {
+	if ServiceName(3) != "sparse3" {
+		t.Errorf("ServiceName(3) = %q", ServiceName(3))
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/sharding"
+	"repro/internal/trace"
+)
+
+// Per-shard model files — the publishing flow of Section III-A1: "After
+// training, during model publishing, parameters are resharded and
+// serialized from parameter servers to the respective inference shard
+// based on a prior partitioning phase." ExportShard writes exactly the
+// tables (and row-partitions) one sparse shard serves, so a shard process
+// loads megabytes instead of the whole model; ImportShard reconstitutes a
+// ready-to-serve SparseShard.
+//
+// Layout: magic "DRSH" | u32 version | shard number | entry count |
+// entries of (tableID, partIndex, numParts, rows, dim, row data).
+
+const (
+	shardMagic   = "DRSH"
+	shardVersion = 1
+)
+
+var errBadShardFile = errors.New("core: malformed shard file")
+
+// ExportShard writes shard number `shard` (1-based) of the plan to w.
+// Only fp32 dense tables are supported (the serving path for quantized
+// models keeps tables whole; see MaterializeShards).
+func ExportShard(m *model.Model, plan *sharding.Plan, shard int, w io.Writer) error {
+	if !plan.IsDistributed() {
+		return fmt.Errorf("core: singular plans have no shards to export")
+	}
+	if shard < 1 || shard > plan.NumShards {
+		return fmt.Errorf("core: shard %d outside [1, %d]", shard, plan.NumShards)
+	}
+	a := &plan.Shards[shard-1]
+
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := make([]byte, 4+4+4+4)
+	copy(hdr, shardMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], shardVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(shard))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(a.Tables)+len(a.Parts)))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+
+	writeRows := func(tableID, partIndex, numParts int, rows *embedding.Dense) error {
+		meta := make([]byte, 5*4)
+		binary.LittleEndian.PutUint32(meta[0:], uint32(tableID))
+		binary.LittleEndian.PutUint32(meta[4:], uint32(partIndex))
+		binary.LittleEndian.PutUint32(meta[8:], uint32(numParts))
+		binary.LittleEndian.PutUint32(meta[12:], uint32(rows.RowsN))
+		binary.LittleEndian.PutUint32(meta[16:], uint32(rows.DimN))
+		if _, err := bw.Write(meta); err != nil {
+			return err
+		}
+		buf := make([]byte, 4*len(rows.Data))
+		for i, v := range rows.Data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		_, err := bw.Write(buf)
+		return err
+	}
+
+	for _, id := range a.Tables {
+		dense, ok := m.Tables[id].(*embedding.Dense)
+		if !ok {
+			return fmt.Errorf("core: table %d is not fp32 dense; export quantized models whole", id)
+		}
+		if err := writeRows(id, 0, 1, dense); err != nil {
+			return err
+		}
+	}
+	for _, pr := range a.Parts {
+		dense, ok := m.Tables[pr.TableID].(*embedding.Dense)
+		if !ok {
+			return fmt.Errorf("core: table %d is not fp32 dense; cannot partition", pr.TableID)
+		}
+		parts := embedding.PartitionRows(dense, pr.NumParts)
+		if err := writeRows(pr.TableID, pr.PartIndex, pr.NumParts, parts[pr.PartIndex].Local); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ImportShard reads a shard file and returns a serving-ready SparseShard
+// recording to rec. The returned shard number comes from the file header.
+func ImportShard(r io.Reader, rec *trace.Recorder) (*SparseShard, int, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, 0, fmt.Errorf("%w: header: %v", errBadShardFile, err)
+	}
+	if string(hdr[:4]) != shardMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", errBadShardFile)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardVersion {
+		return nil, 0, fmt.Errorf("%w: unsupported version %d", errBadShardFile, v)
+	}
+	shard := int(binary.LittleEndian.Uint32(hdr[8:]))
+	count := int(binary.LittleEndian.Uint32(hdr[12:]))
+	if shard < 1 || count < 0 || count > 1<<16 {
+		return nil, 0, fmt.Errorf("%w: shard %d, %d entries", errBadShardFile, shard, count)
+	}
+
+	sh := NewSparseShard(ServiceName(shard), rec)
+	meta := make([]byte, 5*4)
+	for i := 0; i < count; i++ {
+		if _, err := io.ReadFull(br, meta); err != nil {
+			return nil, 0, fmt.Errorf("%w: entry %d meta: %v", errBadShardFile, i, err)
+		}
+		tableID := int(binary.LittleEndian.Uint32(meta[0:]))
+		partIndex := int(binary.LittleEndian.Uint32(meta[4:]))
+		numParts := int(binary.LittleEndian.Uint32(meta[8:]))
+		rows := int(binary.LittleEndian.Uint32(meta[12:]))
+		dim := int(binary.LittleEndian.Uint32(meta[16:]))
+		if rows <= 0 || dim <= 0 || rows > 1<<28 || dim > 1<<12 || numParts < 1 || partIndex < 0 || partIndex >= numParts {
+			return nil, 0, fmt.Errorf("%w: entry %d shape %dx%d part %d/%d", errBadShardFile, i, rows, dim, partIndex, numParts)
+		}
+		buf := make([]byte, 4*rows*dim)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, 0, fmt.Errorf("%w: entry %d data: %v", errBadShardFile, i, err)
+		}
+		tab := embedding.NewDense(rows, dim)
+		for j := range tab.Data {
+			tab.Data[j] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*j:]))
+		}
+		if numParts == 1 {
+			sh.AddTable(tableID, tab)
+		} else {
+			sh.AddPart(tableID, partIndex, tab)
+		}
+	}
+	return sh, shard, nil
+}

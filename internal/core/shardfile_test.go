@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/sharding"
+	"repro/internal/trace"
+)
+
+func TestExportImportShardRoundTrip(t *testing.T) {
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	plan, err := sharding.CapacityBalanced(&cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for shard := 1; shard <= plan.NumShards; shard++ {
+		var buf bytes.Buffer
+		if err := ExportShard(m, plan, shard, &buf); err != nil {
+			t.Fatal(err)
+		}
+		sh, gotShard, err := ImportShard(&buf, trace.NewRecorder("x", 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotShard != shard {
+			t.Fatalf("imported shard %d, want %d", gotShard, shard)
+		}
+		a := &plan.Shards[shard-1]
+		if sh.NumTables() != sharding.ShardTableCount(a) {
+			t.Fatalf("shard %d holds %d tables, want %d", shard, sh.NumTables(), sharding.ShardTableCount(a))
+		}
+		// Every table answers lookups identically to the model's copy.
+		for _, id := range a.Tables {
+			src := m.Tables[id]
+			req := &SparseRequest{Net: cfg.Tables[id].Net, Entries: []SparseEntry{{
+				TableID: int32(id), NumParts: 1,
+				Bags: []embedding.Bag{{Indices: []int32{0, int32(src.NumRows() - 1)}}},
+			}}}
+			out, err := sh.Handle(trace.Context{TraceID: 1, CallID: 1}, "sparse.run", EncodeSparseRequest(req))
+			if err != nil {
+				t.Fatalf("shard %d table %d: %v", shard, id, err)
+			}
+			resp, err := DecodeSparseResponse(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := make([]float32, src.Dim())
+			src.AccumulateRow(want, 0)
+			src.AccumulateRow(want, src.NumRows()-1)
+			for c, w := range want {
+				if resp.Entries[0].Data[c] != w {
+					t.Fatalf("shard %d table %d: lookup differs at col %d", shard, id, c)
+				}
+			}
+		}
+	}
+}
+
+func TestExportImportPartitionedShard(t *testing.T) {
+	cfg := model.DRM3()
+	cfg.Tables[0].Rows = 512
+	for i := 1; i < len(cfg.Tables); i++ {
+		cfg.Tables[i].Rows = 16
+	}
+	m := model.Build(cfg)
+	plan, err := sharding.NSBP(&cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a partition shard.
+	for shard := 1; shard <= plan.NumShards; shard++ {
+		a := &plan.Shards[shard-1]
+		if len(a.Parts) == 0 {
+			continue
+		}
+		var buf bytes.Buffer
+		if err := ExportShard(m, plan, shard, &buf); err != nil {
+			t.Fatal(err)
+		}
+		sh, _, err := ImportShard(&buf, trace.NewRecorder("x", 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr := a.Parts[0]
+		// A lookup of logical row pr.PartIndex (local row 0) must match
+		// the source table's row.
+		src := m.Tables[pr.TableID]
+		req := &SparseRequest{Net: "net1", Entries: []SparseEntry{{
+			TableID: int32(pr.TableID), PartIndex: int32(pr.PartIndex), NumParts: int32(pr.NumParts),
+			Bags: []embedding.Bag{{Indices: []int32{0}}}, // local row 0
+		}}}
+		out, err := sh.Handle(trace.Context{TraceID: 1, CallID: 1}, "sparse.run", EncodeSparseRequest(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := DecodeSparseResponse(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float32, src.Dim())
+		src.AccumulateRow(want, pr.PartIndex) // logical row of local 0
+		for c, w := range want {
+			if resp.Entries[0].Data[c] != w {
+				t.Fatalf("partition lookup differs at col %d", c)
+			}
+		}
+		return
+	}
+	t.Fatal("no partition shard found")
+}
+
+func TestImportShardRejectsCorruption(t *testing.T) {
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	plan, err := sharding.CapacityBalanced(&cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportShard(m, plan, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	rec := trace.NewRecorder("x", 4)
+	bad := append([]byte(nil), full...)
+	bad[0] = 'X'
+	if _, _, err := ImportShard(bytes.NewReader(bad), rec); err == nil {
+		t.Error("bad magic accepted")
+	}
+	for _, cut := range []int{4, 15, 40, len(full) - 7} {
+		if _, _, err := ImportShard(bytes.NewReader(full[:cut]), rec); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestExportShardErrors(t *testing.T) {
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	plan, err := sharding.CapacityBalanced(&cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ExportShard(m, sharding.Singular(&cfg), 1, &buf); err == nil {
+		t.Error("singular export should fail")
+	}
+	if err := ExportShard(m, plan, 0, &buf); err == nil {
+		t.Error("shard 0 should fail")
+	}
+	if err := ExportShard(m, plan, 3, &buf); err == nil {
+		t.Error("out-of-range shard should fail")
+	}
+}

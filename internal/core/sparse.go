@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/nn"
+	"repro/internal/sharding"
+	"repro/internal/trace"
+)
+
+// tableKey addresses a whole table (part 0 of 1) or one row-partition.
+type tableKey struct {
+	id   int
+	part int
+}
+
+// SparseShard serves pooled embedding lookups for the tables (and table
+// partitions) a sharding plan assigns to it. It is stateless across
+// requests — the property Section III-A1 requires so shards can be
+// replicated and restarted freely — holding only immutable table storage.
+type SparseShard struct {
+	// ShardName labels spans ("sparse3").
+	ShardName string
+	rec       *trace.Recorder
+	tables    map[tableKey]embedding.Table
+	// OpComputeScale stretches sparse-op time to model slower platforms
+	// (burned as real CPU); 0 or 1 means no scaling.
+	OpComputeScale float64
+}
+
+// NewSparseShard returns an empty shard recording to rec.
+func NewSparseShard(name string, rec *trace.Recorder) *SparseShard {
+	return &SparseShard{ShardName: name, rec: rec, tables: make(map[tableKey]embedding.Table)}
+}
+
+// AddTable installs a whole table.
+func (s *SparseShard) AddTable(id int, t embedding.Table) {
+	s.tables[tableKey{id: id, part: 0}] = t
+}
+
+// AddPart installs one row-partition of a table.
+func (s *SparseShard) AddPart(id, part int, t embedding.Table) {
+	s.tables[tableKey{id: id, part: part}] = t
+}
+
+// NumTables reports how many tables/parts the shard holds.
+func (s *SparseShard) NumTables() int { return len(s.tables) }
+
+// Bytes reports the shard's embedding storage footprint.
+func (s *SparseShard) Bytes() int64 {
+	var n int64
+	for _, t := range s.tables {
+		n += t.Bytes()
+	}
+	return n
+}
+
+// Handle implements rpc.Handler: it decodes a SparseRequest, runs the
+// pooling net under the shard's tracer, and encodes the pooled results.
+func (s *SparseShard) Handle(ctx trace.Context, method string, body []byte) ([]byte, error) {
+	if method != "sparse.run" {
+		return nil, fmt.Errorf("core: %s: unknown method %q", s.ShardName, method)
+	}
+	// Deserialize (RPC Ser/De at the sparse shard).
+	desStart := s.rec.Now()
+	req, err := DecodeSparseRequest(body)
+	s.rec.Record(trace.Span{
+		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerSerDe,
+		Net: "", Name: "sparse/decode", Start: desStart, Dur: s.rec.Now().Sub(desStart),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+	}
+
+	// Build and run the pooling net: one fused SLS over the requested
+	// entries, executed through the framework so Net Overhead and
+	// operator spans are attributed exactly like the main shard's.
+	ws := nn.NewWorkspace()
+	sls := &nn.MultiSLS{OpName: "sls_" + s.ShardName}
+	for i, e := range req.Entries {
+		key := tableKey{id: int(e.TableID), part: int(e.PartIndex)}
+		tab, ok := s.tables[key]
+		if !ok {
+			return nil, fmt.Errorf("core: %s does not hold table %d part %d", s.ShardName, e.TableID, e.PartIndex)
+		}
+		bagsName := fmt.Sprintf("bags_%d", i)
+		ws.SetBags(bagsName, e.Bags)
+		sls.Entries = append(sls.Entries, nn.SLSEntry{
+			Table:     tab,
+			InputBags: bagsName,
+			Output:    fmt.Sprintf("pooled_%d", i),
+		})
+	}
+	obs := &trace.NetObserver{R: s.rec, Ctx: ctx}
+	net := &nn.Net{NetName: req.Net, Ops: []nn.Op{sls}}
+	opStart := time.Now()
+	if err := net.Run(ws, obs); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+	}
+	if s.OpComputeScale > 1 {
+		burnFor(time.Duration(float64(time.Since(opStart)) * (s.OpComputeScale - 1)))
+	}
+
+	// Serialize (RPC Ser/De at the sparse shard).
+	encStart := s.rec.Now()
+	resp := &SparseResponse{}
+	for i, e := range req.Entries {
+		m, err := ws.Blob(fmt.Sprintf("pooled_%d", i))
+		if err != nil {
+			return nil, err
+		}
+		resp.Entries = append(resp.Entries, PooledEntry{
+			TableID:   e.TableID,
+			PartIndex: e.PartIndex,
+			Rows:      int32(m.Rows),
+			Cols:      int32(m.Cols),
+			Data:      m.Data,
+		})
+	}
+	out := EncodeSparseResponse(resp)
+	s.rec.Record(trace.Span{
+		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerSerDe,
+		Name: "sparse/encode", Start: encStart, Dur: s.rec.Now().Sub(encStart),
+	})
+	return out, nil
+}
+
+// MaterializeShards builds the sparse shards' table storage from a model
+// and a distributed plan. Row-partitioned tables are partitioned once and
+// the parts handed to their shards. Only fp32 Dense tables can be
+// partitioned (quantized models are served whole-table, as in the paper's
+// compression experiment which is singular-only).
+func MaterializeShards(m *model.Model, plan *sharding.Plan, recs []*trace.Recorder) ([]*SparseShard, error) {
+	if !plan.IsDistributed() {
+		return nil, fmt.Errorf("core: cannot materialize shards for a singular plan")
+	}
+	if len(recs) != plan.NumShards {
+		return nil, fmt.Errorf("core: %d recorders for %d shards", len(recs), plan.NumShards)
+	}
+	shards := make([]*SparseShard, plan.NumShards)
+	for i := range shards {
+		shards[i] = NewSparseShard(ServiceName(i+1), recs[i])
+	}
+	// Partition each split table exactly once.
+	var partsMu sync.Mutex
+	parts := make(map[int][]*embedding.Part)
+	partsOf := func(id, numParts int) ([]*embedding.Part, error) {
+		partsMu.Lock()
+		defer partsMu.Unlock()
+		if p, ok := parts[id]; ok {
+			if p[0].NumParts != numParts {
+				return nil, fmt.Errorf("core: table %d partitioned twice with different counts", id)
+			}
+			return p, nil
+		}
+		dense, ok := m.Tables[id].(*embedding.Dense)
+		if !ok {
+			return nil, fmt.Errorf("core: table %d is not fp32 dense; cannot row-partition", id)
+		}
+		p := embedding.PartitionRows(dense, numParts)
+		parts[id] = p
+		return p, nil
+	}
+	for i := range plan.Shards {
+		a := &plan.Shards[i]
+		sh := shards[a.Shard-1]
+		for _, id := range a.Tables {
+			sh.AddTable(id, m.Tables[id])
+		}
+		for _, pr := range a.Parts {
+			p, err := partsOf(pr.TableID, pr.NumParts)
+			if err != nil {
+				return nil, err
+			}
+			sh.AddPart(pr.TableID, pr.PartIndex, p[pr.PartIndex].Local)
+		}
+	}
+	return shards, nil
+}
+
+// MainService adapts an Engine to rpc.Handler for the "rank" method,
+// recording the request/response serde spans the paper attributes to the
+// main shard.
+type MainService struct {
+	Engine *Engine
+	Rec    *trace.Recorder
+}
+
+// Handle implements rpc.Handler.
+func (s *MainService) Handle(ctx trace.Context, method string, body []byte) ([]byte, error) {
+	if method != "rank" {
+		return nil, fmt.Errorf("core: main shard: unknown method %q", method)
+	}
+	desStart := s.Rec.Now()
+	req, err := DecodeRankingRequest(body)
+	s.Rec.Record(trace.Span{
+		TraceID: ctx.TraceID, Layer: trace.LayerSerDe,
+		Name: "rank/decode", Start: desStart, Dur: s.Rec.Now().Sub(desStart),
+	})
+	if err != nil {
+		return nil, err
+	}
+	scores, err := s.Engine.Execute(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	encStart := s.Rec.Now()
+	out := EncodeRankingResponse(&RankingResponse{Scores: scores})
+	s.Rec.Record(trace.Span{
+		TraceID: ctx.TraceID, Layer: trace.LayerSerDe,
+		Name: "rank/encode", Start: encStart, Dur: s.Rec.Now().Sub(encStart),
+	})
+	return out, nil
+}

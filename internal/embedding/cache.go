@@ -1,0 +1,123 @@
+package embedding
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CachedTable wraps a Table with an LRU cache of decoded rows. The paper
+// points at exactly this direction for follow-on work (Section IX:
+// "Because embedding table behavior is the dominating design factor in
+// large models, explorations [of] table placement and frequency-based
+// caching are also valuable directions", citing Bandana). Sparse-feature
+// accesses are heavily skewed in production, so a small cache of hot rows
+// absorbs most lookups; for quantized backends it also amortizes
+// dequantization.
+//
+// The cache is safe for concurrent readers of the underlying table but
+// serializes its own bookkeeping; shard-level request parallelism remains
+// (each request's lookups hit the mutex briefly). Capacity is in rows.
+type CachedTable struct {
+	backing Table
+	cap     int
+
+	mu    sync.Mutex
+	rows  map[int]*list.Element
+	order *list.List // front = most recent
+
+	hits, misses int64
+}
+
+type cacheEntry struct {
+	idx int
+	row []float32
+}
+
+// NewCachedTable wraps backing with an LRU of capacity rows. A capacity
+// of 0 or less disables caching (lookups pass through).
+func NewCachedTable(backing Table, capacity int) *CachedTable {
+	return &CachedTable{
+		backing: backing,
+		cap:     capacity,
+		rows:    make(map[int]*list.Element),
+		order:   list.New(),
+	}
+}
+
+// NumRows implements Table.
+func (c *CachedTable) NumRows() int { return c.backing.NumRows() }
+
+// Dim implements Table.
+func (c *CachedTable) Dim() int { return c.backing.Dim() }
+
+// Bytes implements Table: backing storage plus cached rows.
+func (c *CachedTable) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.backing.Bytes() + int64(len(c.rows))*int64(c.Dim())*4
+}
+
+// AccumulateRow implements Table, serving hot rows from the cache.
+func (c *CachedTable) AccumulateRow(acc []float32, idx int) {
+	if c.cap <= 0 {
+		c.backing.AccumulateRow(acc, idx)
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.rows[idx]; ok {
+		c.order.MoveToFront(el)
+		row := el.Value.(*cacheEntry).row
+		c.hits++
+		c.mu.Unlock()
+		for i, v := range row {
+			acc[i] += v
+		}
+		return
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Decode outside the lock: misses dominate only on cold/unskewed
+	// workloads, and concurrent misses of the same row are benign (last
+	// insert wins).
+	row := make([]float32, c.Dim())
+	c.backing.AccumulateRow(row, idx)
+	for i, v := range row {
+		acc[i] += v
+	}
+
+	c.mu.Lock()
+	if _, dup := c.rows[idx]; !dup {
+		el := c.order.PushFront(&cacheEntry{idx: idx, row: row})
+		c.rows[idx] = el
+		if c.order.Len() > c.cap {
+			old := c.order.Back()
+			c.order.Remove(old)
+			delete(c.rows, old.Value.(*cacheEntry).idx)
+		}
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns cumulative hit/miss counts.
+func (c *CachedTable) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRate returns the cumulative cache hit rate (0 when unused).
+func (c *CachedTable) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len returns the number of cached rows.
+func (c *CachedTable) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.rows)
+}

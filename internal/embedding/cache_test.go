@@ -1,0 +1,166 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/quant"
+)
+
+func TestCachedTableMatchesBacking(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	backing := NewDenseRandom(rng, 128, 8, 1)
+	cached := NewCachedTable(backing, 16)
+	for i := 0; i < 500; i++ {
+		idx := rng.Intn(128)
+		a := make([]float32, 8)
+		b := make([]float32, 8)
+		backing.AccumulateRow(a, idx)
+		cached.AccumulateRow(b, idx)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("lookup %d row %d differs", i, idx)
+			}
+		}
+	}
+	if cached.Len() > 16 {
+		t.Errorf("cache grew past capacity: %d", cached.Len())
+	}
+}
+
+func TestCachedTableHitRateOnSkewedAccess(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	backing := NewDenseRandom(rng, 10000, 8, 1)
+	cached := NewCachedTable(backing, 100)
+	acc := make([]float32, 8)
+	// Zipf-ish: 90% of lookups hit 50 hot rows.
+	for i := 0; i < 5000; i++ {
+		var idx int
+		if rng.Float64() < 0.9 {
+			idx = rng.Intn(50)
+		} else {
+			idx = rng.Intn(10000)
+		}
+		cached.AccumulateRow(acc, idx)
+	}
+	if hr := cached.HitRate(); hr < 0.8 {
+		t.Errorf("hit rate %.3f on 90/50 skew, want ≥0.8", hr)
+	}
+	hits, misses := cached.Stats()
+	if hits+misses != 5000 {
+		t.Errorf("stats don't sum: %d + %d", hits, misses)
+	}
+}
+
+func TestCachedTableLRUEviction(t *testing.T) {
+	backing := NewDense(8, 2)
+	for r := 0; r < 8; r++ {
+		backing.Row(r)[0] = float32(r)
+	}
+	cached := NewCachedTable(backing, 2)
+	acc := make([]float32, 2)
+	cached.AccumulateRow(acc, 0) // cache: [0]
+	cached.AccumulateRow(acc, 1) // cache: [1 0]
+	cached.AccumulateRow(acc, 0) // cache: [0 1] (0 refreshed)
+	cached.AccumulateRow(acc, 2) // evicts 1 → [2 0]
+	h0, _ := cached.Stats()
+	cached.AccumulateRow(acc, 0)
+	h1, _ := cached.Stats()
+	if h1 != h0+1 {
+		t.Error("row 0 should still be cached after LRU refresh")
+	}
+	cached.AccumulateRow(acc, 1)
+	_, m := cached.Stats()
+	if m != 4 { // 0, 1, 2 cold + 1 re-fetch after eviction
+		t.Errorf("misses = %d, want 4", m)
+	}
+}
+
+func TestCachedTableZeroCapacityPassThrough(t *testing.T) {
+	backing := NewDense(4, 2)
+	backing.Row(3)[1] = 7
+	cached := NewCachedTable(backing, 0)
+	acc := make([]float32, 2)
+	cached.AccumulateRow(acc, 3)
+	if acc[1] != 7 {
+		t.Error("pass-through broken")
+	}
+	if h, m := cached.Stats(); h != 0 || m != 0 {
+		t.Error("disabled cache should not count")
+	}
+}
+
+func TestCachedQuantizedTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	dense := NewDenseRandom(rng, 64, 16, 1)
+	qt := dense.Quantize(quant.Bits4)
+	cached := NewCachedTable(qt, 32)
+	a := make([]float32, 16)
+	b := make([]float32, 16)
+	for i := 0; i < 100; i++ {
+		idx := rng.Intn(64)
+		for j := range a {
+			a[j], b[j] = 0, 0
+		}
+		qt.AccumulateRow(a, idx)
+		cached.AccumulateRow(b, idx)
+		for j := range a {
+			if math.Abs(float64(a[j]-b[j])) > 1e-6 {
+				t.Fatalf("cached quantized lookup differs at %d", j)
+			}
+		}
+	}
+	if cached.HitRate() == 0 {
+		t.Error("repeated lookups should hit")
+	}
+}
+
+func TestCachedTableConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	backing := NewDenseRandom(rng, 256, 4, 1)
+	cached := NewCachedTable(backing, 64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			acc := make([]float32, 4)
+			for i := 0; i < 2000; i++ {
+				cached.AccumulateRow(acc, r.Intn(256))
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	if cached.Len() > 64 {
+		t.Errorf("capacity exceeded under concurrency: %d", cached.Len())
+	}
+}
+
+// BenchmarkCachedVsDirectLookup is the ablation for the frequency-cache
+// extension: hot-row lookups through the cache vs straight dequantized
+// lookups on a 4-bit table.
+func BenchmarkCachedVsDirectLookup(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	dense := NewDenseRandom(rng, 100000, 16, 1)
+	qt := dense.Quantize(quant.Bits4)
+	hot := make([]int, 256)
+	for i := range hot {
+		hot[i] = rng.Intn(100000)
+	}
+	b.Run("direct-4bit", func(b *testing.B) {
+		acc := make([]float32, 16)
+		for i := 0; i < b.N; i++ {
+			qt.AccumulateRow(acc, hot[i%len(hot)])
+		}
+	})
+	b.Run("cached-4bit", func(b *testing.B) {
+		cached := NewCachedTable(qt, 512)
+		acc := make([]float32, 16)
+		for i := 0; i < b.N; i++ {
+			cached.AccumulateRow(acc, hot[i%len(hot)])
+		}
+	})
+}

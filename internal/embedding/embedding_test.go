@@ -1,0 +1,272 @@
+package embedding
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/quant"
+)
+
+func TestDenseBasics(t *testing.T) {
+	tab := NewDense(4, 3)
+	if tab.NumRows() != 4 || tab.Dim() != 3 || tab.Bytes() != 48 {
+		t.Fatalf("shape wrong: %+v", tab)
+	}
+	tab.Row(2)[1] = 5
+	acc := make([]float32, 3)
+	tab.AccumulateRow(acc, 2)
+	if acc[1] != 5 {
+		t.Errorf("AccumulateRow: %v", acc)
+	}
+}
+
+func TestNewDensePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewDense(0, 4)
+}
+
+func TestSLSKnown(t *testing.T) {
+	tab := NewDense(3, 2)
+	copy(tab.Data, []float32{1, 2, 10, 20, 100, 200})
+	bags := []Bag{
+		{Indices: []int32{0, 2}}, // rows 0+2 = {101, 202}
+		{Indices: []int32{1}},    // row 1 = {10, 20}
+		{},                       // empty bag = zeros
+	}
+	out := make([]float32, 6)
+	SLS(out, tab, bags)
+	want := []float32{101, 202, 10, 20, 0, 0}
+	for i, w := range want {
+		if out[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out[i], w)
+		}
+	}
+}
+
+func TestSLSZeroesOutput(t *testing.T) {
+	tab := NewDense(1, 2)
+	out := []float32{9, 9}
+	SLS(out, tab, []Bag{{}})
+	if out[0] != 0 || out[1] != 0 {
+		t.Errorf("SLS must zero output first: %v", out)
+	}
+}
+
+func TestSLSPanicsOnBadIndex(t *testing.T) {
+	tab := NewDense(2, 2)
+	out := make([]float32, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range index")
+		}
+	}()
+	SLS(out, tab, []Bag{{Indices: []int32{5}}})
+}
+
+func TestSLSPanicsOnBadOutLen(t *testing.T) {
+	tab := NewDense(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad out length")
+		}
+	}()
+	SLS(make([]float32, 3), tab, []Bag{{}})
+}
+
+func TestSLSMean(t *testing.T) {
+	tab := NewDense(2, 2)
+	copy(tab.Data, []float32{2, 4, 6, 8})
+	out := make([]float32, 2)
+	SLSMean(out, tab, []Bag{{Indices: []int32{0, 1}}})
+	if out[0] != 4 || out[1] != 6 {
+		t.Errorf("SLSMean = %v, want [4 6]", out)
+	}
+	// Single-index and empty bags are unscaled.
+	SLSMean(out, tab, []Bag{{Indices: []int32{1}}})
+	if out[0] != 6 || out[1] != 8 {
+		t.Errorf("SLSMean single = %v", out)
+	}
+}
+
+func TestTotalLookups(t *testing.T) {
+	bags := []Bag{{Indices: []int32{1, 2}}, {}, {Indices: []int32{3}}}
+	if got := TotalLookups(bags); got != 3 {
+		t.Errorf("TotalLookups = %d, want 3", got)
+	}
+}
+
+func TestQuantizedTableMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tab := NewDenseRandom(rng, 50, 16, 1)
+	qt := tab.Quantize(quant.Bits8)
+	if qt.NumRows() != 50 || qt.Dim() != 16 {
+		t.Fatalf("quantized shape wrong")
+	}
+	bags := []Bag{{Indices: []int32{0, 7, 31}}}
+	dense := make([]float32, 16)
+	quantized := make([]float32, 16)
+	SLS(dense, tab, bags)
+	SLS(quantized, qt, bags)
+	for i := range dense {
+		// 3 lookups × per-row bound (half step + fp16 header rounding).
+		if diff := math.Abs(float64(dense[i] - quantized[i])); diff > 0.03 {
+			t.Errorf("quantized SLS diverges at %d: %v vs %v", i, quantized[i], dense[i])
+		}
+	}
+	if qt.Bytes() >= tab.Bytes() {
+		t.Errorf("quantized table should be smaller: %d vs %d", qt.Bytes(), tab.Bytes())
+	}
+}
+
+func TestPartitionRowsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src := NewDenseRandomRows(rng, 17, 4) // odd row count exercises remainders
+	parts := PartitionRows(src, 4)
+	if len(parts) != 4 {
+		t.Fatalf("got %d parts", len(parts))
+	}
+	for r := 0; r < src.NumRows(); r++ {
+		p := parts[r%4]
+		local := p.LocalRow(r)
+		got := p.Local.Row(local)
+		want := src.Row(r)
+		for c := range want {
+			if got[c] != want[c] {
+				t.Fatalf("row %d mismatch at col %d", r, c)
+			}
+		}
+	}
+}
+
+func TestLocalRowPanicsOnWrongPart(t *testing.T) {
+	src := NewDense(8, 2)
+	parts := PartitionRows(src, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	parts[0].LocalRow(3) // 3 % 2 == 1, belongs to part 1
+}
+
+func TestPartitionPanicsOnBadParts(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PartitionRows(NewDense(4, 2), 0)
+}
+
+func TestPartitionMorePartsThanRows(t *testing.T) {
+	src := NewDense(2, 2)
+	parts := PartitionRows(src, 5)
+	for _, p := range parts {
+		if p.Local.NumRows() < 1 {
+			t.Errorf("part %d has no backing rows", p.Index)
+		}
+	}
+}
+
+func TestSplitBagsPreservesPositions(t *testing.T) {
+	bags := []Bag{
+		{Indices: []int32{0, 1, 2, 3}},
+		{Indices: []int32{5}},
+	}
+	split := SplitBags(bags, 2)
+	if len(split) != 2 || len(split[0]) != 2 || len(split[1]) != 2 {
+		t.Fatalf("split shape wrong: %v", split)
+	}
+	// Part 0 gets even indices with local = idx/2.
+	if got := split[0][0].Indices; len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("part0 bag0 = %v", got)
+	}
+	if got := split[1][1].Indices; len(got) != 1 || got[0] != 2 {
+		t.Errorf("part1 bag1 = %v (want local index 5/2=2)", got)
+	}
+}
+
+// TestShardedSLSEquivalence is the core invariant of row-sharding: SLS on
+// the full table equals the sum of per-part SLS results routed through
+// SplitBags. This is what makes modulus partitioning transparent.
+func TestShardedSLSEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := NewDenseRandom(rng, 64, 8, 1)
+	bags := make([]Bag, 5)
+	for b := range bags {
+		n := rng.Intn(10)
+		for i := 0; i < n; i++ {
+			bags[b].Indices = append(bags[b].Indices, int32(rng.Intn(64)))
+		}
+	}
+	full := make([]float32, len(bags)*8)
+	SLS(full, src, bags)
+
+	for _, numParts := range []int{1, 2, 3, 7} {
+		parts := PartitionRows(src, numParts)
+		split := SplitBags(bags, numParts)
+		partials := make([][]float32, numParts)
+		for p := 0; p < numParts; p++ {
+			partials[p] = make([]float32, len(bags)*8)
+			SLS(partials[p], parts[p].Local, split[p])
+		}
+		merged := make([]float32, len(bags)*8)
+		MergePartial(merged, partials)
+		for i := range full {
+			if diff := math.Abs(float64(full[i] - merged[i])); diff > 1e-4 {
+				t.Fatalf("numParts=%d: sharded SLS diverges at %d: %v vs %v", numParts, i, merged[i], full[i])
+			}
+		}
+	}
+}
+
+func TestShardedSLSEquivalenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 8 + rng.Intn(56)
+		dim := 1 + rng.Intn(8)
+		numParts := 1 + rng.Intn(6)
+		src := NewDenseRandom(rng, rows, dim, 1)
+		bags := make([]Bag, 1+rng.Intn(4))
+		for b := range bags {
+			for i, n := 0, rng.Intn(8); i < n; i++ {
+				bags[b].Indices = append(bags[b].Indices, int32(rng.Intn(rows)))
+			}
+		}
+		full := make([]float32, len(bags)*dim)
+		SLS(full, src, bags)
+		parts := PartitionRows(src, numParts)
+		split := SplitBags(bags, numParts)
+		partials := make([][]float32, numParts)
+		for p := range parts {
+			partials[p] = make([]float32, len(bags)*dim)
+			SLS(partials[p], parts[p].Local, split[p])
+		}
+		merged := make([]float32, len(bags)*dim)
+		MergePartial(merged, partials)
+		for i := range full {
+			if math.Abs(float64(full[i]-merged[i])) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMergePartialPanicsOnLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	MergePartial(make([]float32, 4), [][]float32{make([]float32, 3)})
+}

@@ -1,0 +1,142 @@
+package embedding
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+// PagedTable serves embedding rows from secondary storage instead of
+// DRAM — the alternative the paper weighs against distributed inference:
+// "On demand paging of the model from higher capacity storage is another
+// solution, but this requires fast solid-state drives (SSD) to meet
+// latency constraints" (Section I), and §X lists "paging-from-disk" as a
+// design-space expansion. Rows are read on demand with ReadAt; wrap a
+// PagedTable in a CachedTable to model the DRAM cache such a deployment
+// would run in front of the SSD.
+//
+// The ablation benchmark (BenchmarkPagedVsResident) quantifies exactly
+// the trade-off the paper calls out: per-lookup latency is storage-bound,
+// so the viability of paging hinges on the device, not the software.
+type PagedTable struct {
+	f    *os.File
+	rows int
+	dim  int
+	// off is the byte offset of row 0 within the file.
+	off int64
+
+	mu      sync.Mutex
+	scratch []byte
+	// reads counts storage accesses (for tests and capacity planning).
+	reads int64
+}
+
+// pagedMagic guards against pointing a PagedTable at arbitrary files.
+const pagedMagic = "DRMP"
+
+// WritePagedTable serializes a dense table into the paged on-disk layout:
+// magic, rows, dim, then row-major float32 data.
+func WritePagedTable(w io.Writer, t *Dense) error {
+	hdr := make([]byte, 4+4+4)
+	copy(hdr, pagedMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.RowsN))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.DimN))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*t.DimN)
+	for r := 0; r < t.RowsN; r++ {
+		row := t.Row(r)
+		for c, v := range row {
+			binary.LittleEndian.PutUint32(buf[4*c:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// OpenPagedTable opens a file written by WritePagedTable. The caller owns
+// closing the returned table.
+func OpenPagedTable(path string) (*PagedTable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("embedding: paged table header: %w", err)
+	}
+	if string(hdr[:4]) != pagedMagic {
+		f.Close()
+		return nil, fmt.Errorf("embedding: %s is not a paged table", path)
+	}
+	rows := int(binary.LittleEndian.Uint32(hdr[4:]))
+	dim := int(binary.LittleEndian.Uint32(hdr[8:]))
+	if rows <= 0 || dim <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("embedding: paged table has invalid shape %dx%d", rows, dim)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if want := int64(12) + int64(rows)*int64(dim)*4; st.Size() < want {
+		f.Close()
+		return nil, fmt.Errorf("embedding: paged table truncated (%d bytes, want %d)", st.Size(), want)
+	}
+	return &PagedTable{f: f, rows: rows, dim: dim, off: 12, scratch: make([]byte, 4*dim)}, nil
+}
+
+// Close releases the backing file.
+func (t *PagedTable) Close() error { return t.f.Close() }
+
+// NumRows implements Table.
+func (t *PagedTable) NumRows() int { return t.rows }
+
+// Dim implements Table.
+func (t *PagedTable) Dim() int { return t.dim }
+
+// Bytes implements Table: resident bytes are just the scratch buffer —
+// the point of paging is that the table itself does not occupy DRAM.
+func (t *PagedTable) Bytes() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return int64(len(t.scratch))
+}
+
+// StorageBytes reports the on-disk footprint.
+func (t *PagedTable) StorageBytes() int64 { return int64(t.rows) * int64(t.dim) * 4 }
+
+// Reads returns the number of storage accesses performed.
+func (t *PagedTable) Reads() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reads
+}
+
+// AccumulateRow implements Table by reading the row from storage.
+func (t *PagedTable) AccumulateRow(acc []float32, idx int) {
+	if idx < 0 || idx >= t.rows {
+		panic(fmt.Sprintf("embedding: paged row %d out of range [0,%d)", idx, t.rows))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.reads++
+	off := t.off + int64(idx)*int64(t.dim)*4
+	if _, err := t.f.ReadAt(t.scratch, off); err != nil {
+		// A storage fault mid-inference has no recovery at this layer;
+		// the process-level answer (as in serving) is failing the request
+		// via the panic→error boundary of the operator runner.
+		panic(fmt.Sprintf("embedding: paged read row %d: %v", idx, err))
+	}
+	for c := 0; c < t.dim; c++ {
+		acc[c] += math.Float32frombits(binary.LittleEndian.Uint32(t.scratch[4*c:]))
+	}
+}

@@ -1,0 +1,187 @@
+package embedding
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeTempPaged(t testing.TB, src *Dense) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "table.drmp")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePagedTable(f, src); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestPagedTableMatchesResident(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := NewDenseRandom(rng, 512, 16, 1)
+	paged, err := OpenPagedTable(writeTempPaged(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	if paged.NumRows() != 512 || paged.Dim() != 16 {
+		t.Fatalf("paged shape %dx%d", paged.NumRows(), paged.Dim())
+	}
+	for i := 0; i < 200; i++ {
+		idx := rng.Intn(512)
+		a := make([]float32, 16)
+		b := make([]float32, 16)
+		src.AccumulateRow(a, idx)
+		paged.AccumulateRow(b, idx)
+		for c := range a {
+			if a[c] != b[c] {
+				t.Fatalf("row %d col %d differs: %v vs %v", idx, c, b[c], a[c])
+			}
+		}
+	}
+	if paged.Reads() != 200 {
+		t.Errorf("Reads = %d, want 200", paged.Reads())
+	}
+	// The point of paging: negligible resident bytes vs full storage.
+	if paged.Bytes() >= src.Bytes()/10 {
+		t.Errorf("paged resident bytes %d should be tiny vs %d", paged.Bytes(), src.Bytes())
+	}
+	if paged.StorageBytes() != src.Bytes() {
+		t.Errorf("storage bytes %d != source %d", paged.StorageBytes(), src.Bytes())
+	}
+}
+
+func TestPagedTableWithSLS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := NewDenseRandom(rng, 64, 8, 1)
+	paged, err := OpenPagedTable(writeTempPaged(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	bags := []Bag{{Indices: []int32{1, 5, 9}}, {Indices: []int32{60}}}
+	want := make([]float32, 16)
+	got := make([]float32, 16)
+	SLS(want, src, bags)
+	SLS(got, paged, bags)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("paged SLS differs at %d", i)
+		}
+	}
+}
+
+func TestPagedTableBehindCache(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := NewDenseRandom(rng, 256, 8, 1)
+	paged, err := OpenPagedTable(writeTempPaged(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	cached := NewCachedTable(paged, 32)
+	acc := make([]float32, 8)
+	// Hot loop over 16 rows: after the cold pass, no storage reads.
+	for pass := 0; pass < 10; pass++ {
+		for idx := 0; idx < 16; idx++ {
+			cached.AccumulateRow(acc, idx)
+		}
+	}
+	if paged.Reads() != 16 {
+		t.Errorf("storage reads = %d, want 16 (cache absorbs the rest)", paged.Reads())
+	}
+	if hr := cached.HitRate(); hr < 0.89 {
+		t.Errorf("hit rate %.3f, want ≥ 0.9", hr)
+	}
+}
+
+func TestOpenPagedTableRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	// Not a paged table.
+	bogus := filepath.Join(dir, "bogus")
+	if err := os.WriteFile(bogus, []byte("hello world, definitely not a table"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPagedTable(bogus); err == nil {
+		t.Error("bogus file accepted")
+	}
+	// Truncated file.
+	src := NewDense(16, 4)
+	path := writeTempPaged(t, src)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc")
+	if err := os.WriteFile(trunc, full[:len(full)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenPagedTable(trunc); err == nil {
+		t.Error("truncated file accepted")
+	}
+	// Missing file.
+	if _, err := OpenPagedTable(filepath.Join(dir, "nope")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestPagedTableOutOfRangePanics(t *testing.T) {
+	src := NewDense(8, 2)
+	paged, err := OpenPagedTable(writeTempPaged(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer paged.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	paged.AccumulateRow(make([]float32, 2), 8)
+}
+
+// BenchmarkPagedVsResident quantifies the paper's intro argument: paging
+// trades DRAM for per-lookup storage latency, so its viability is a
+// device property. Three points: resident fp32, paged (OS page cache
+// hot), and paged behind a DRAM row cache.
+func BenchmarkPagedVsResident(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	src := NewDenseRandom(rng, 1<<16, 16, 1)
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = rng.Intn(1 << 16)
+	}
+	b.Run("resident-fp32", func(b *testing.B) {
+		acc := make([]float32, 16)
+		for i := 0; i < b.N; i++ {
+			src.AccumulateRow(acc, idx[i%len(idx)])
+		}
+	})
+	path := writeTempPaged(b, src)
+	paged, err := OpenPagedTable(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer paged.Close()
+	b.Run("paged", func(b *testing.B) {
+		acc := make([]float32, 16)
+		for i := 0; i < b.N; i++ {
+			paged.AccumulateRow(acc, idx[i%len(idx)])
+		}
+	})
+	b.Run("paged+cache", func(b *testing.B) {
+		cached := NewCachedTable(paged, 8192)
+		acc := make([]float32, 16)
+		for i := 0; i < b.N; i++ {
+			cached.AccumulateRow(acc, idx[i%len(idx)])
+		}
+	})
+}

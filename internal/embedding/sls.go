@@ -1,0 +1,65 @@
+package embedding
+
+import "fmt"
+
+// Bag is one pooled lookup: a set of row indices in a table whose
+// embedding vectors are summed (the paper's pooling operation). One
+// inference example contributes one bag per sparse feature; the number of
+// indices in the bag is that feature's pooling factor for the example.
+type Bag struct {
+	Indices []int32
+}
+
+// SLS executes SparseLengthsSum over a table: for each bag, it sums the
+// indexed rows into one output vector of length table.Dim(). out must be
+// len(bags)*dim long (row-major, one row per bag). Rows are pre-zeroed.
+//
+// This mirrors Caffe2's SparseLengthsSum, the operator family the paper
+// reports as "SLS" and which dominates sparse-shard compute.
+func SLS(out []float32, table Table, bags []Bag) {
+	dim := table.Dim()
+	if len(out) != len(bags)*dim {
+		panic(fmt.Sprintf("embedding: SLS out length %d != %d bags × dim %d", len(out), len(bags), dim))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	rows := table.NumRows()
+	for b, bag := range bags {
+		acc := out[b*dim : (b+1)*dim]
+		for _, idx := range bag.Indices {
+			if idx < 0 || int(idx) >= rows {
+				panic(fmt.Sprintf("embedding: SLS index %d out of range [0,%d)", idx, rows))
+			}
+			table.AccumulateRow(acc, int(idx))
+		}
+	}
+}
+
+// SLSMean is the mean-pooled variant: each output vector is the average of
+// the indexed rows (empty bags produce zero vectors).
+func SLSMean(out []float32, table Table, bags []Bag) {
+	SLS(out, table, bags)
+	dim := table.Dim()
+	for b, bag := range bags {
+		n := len(bag.Indices)
+		if n <= 1 {
+			continue
+		}
+		inv := 1 / float32(n)
+		acc := out[b*dim : (b+1)*dim]
+		for i := range acc {
+			acc[i] *= inv
+		}
+	}
+}
+
+// TotalLookups returns the total pooling work (number of row accesses)
+// across bags — the quantity the load-balanced sharding strategy budgets.
+func TotalLookups(bags []Bag) int {
+	n := 0
+	for _, b := range bags {
+		n += len(b.Indices)
+	}
+	return n
+}

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/sharding"
+)
+
+// testRunner uses a tiny request budget: these tests validate the
+// experiment plumbing end to end, not the statistics.
+func testRunner() *Runner {
+	return NewRunner(Params{Requests: 6, Warmup: 2, Seed: 5})
+}
+
+func TestFig1RendersGrowth(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRunner().Fig1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig. 1", "features", "embeddings", "10.0x"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5RendersDistributions(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRunner().Fig5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"DRM1", "DRM2", "DRM3", "257 tables", "largest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestTable2RendersShardingSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testRunner().Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table II", "load-bal 8 shards", "NSBP 2 shards", "capacity spread"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestMeasurePipelineSingularDRM3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a live cluster")
+	}
+	r := testRunner()
+	cfg := r.Model("DRM3").Config
+	res, err := r.Run("DRM3", sharding.Singular(&cfg), runMode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.breakdowns) != r.P.Requests {
+		t.Fatalf("got %d breakdowns, want %d", len(res.breakdowns), r.P.Requests)
+	}
+	for _, b := range res.breakdowns {
+		if b.E2E <= 0 || b.DenseOps <= 0 || b.EmbeddedPortion <= 0 {
+			t.Errorf("degenerate breakdown: %+v", b)
+		}
+		if b.RPCCalls != 0 {
+			t.Errorf("singular run recorded %d RPC calls", b.RPCCalls)
+		}
+	}
+	if res.kindOpTime["Dense"] <= res.kindOpTime["Sparse"] {
+		t.Errorf("dense op time (%v) should dominate sparse (%v)",
+			res.kindOpTime["Dense"], res.kindOpTime["Sparse"])
+	}
+	// Memoization: the same run must come back cached.
+	again, err := r.Run("DRM3", sharding.Singular(&cfg), runMode{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &again.breakdowns[0] != &res.breakdowns[0] {
+		t.Error("second Run should be memoized")
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	for _, e := range All() {
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%s) = %v, %v", e.ID, got.ID, err)
+		}
+	}
+}

@@ -1,0 +1,404 @@
+package model
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// Binary model serialization — the publishing step of Section III-C:
+// "A custom partitioning tool employs a user-supplied configuration to
+// group embedding tables and their operators, insert RPC operators,
+// generate new Caffe2 nets, and then serialize the model to storage."
+// The format is versioned, little-endian, and self-describing enough for
+// Load to validate shape consistency while reading.
+//
+// Layout:
+//
+//	magic "DRMS" | u32 version | config | dense params | tables
+//
+// Quantized tables round-trip through their packed representation.
+
+const (
+	serializeMagic   = "DRMS"
+	serializeVersion = 1
+
+	tableKindDense uint32 = 0
+	tableKindQuant uint32 = 1
+)
+
+var errBadFormat = errors.New("model: malformed serialized model")
+
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *binWriter) u32(v uint32) {
+	if b.err != nil {
+		return
+	}
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	_, b.err = b.w.Write(tmp[:])
+}
+
+func (b *binWriter) u64(v uint64) {
+	if b.err != nil {
+		return
+	}
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	_, b.err = b.w.Write(tmp[:])
+}
+
+func (b *binWriter) f64(v float64) { b.u64(math.Float64bits(v)) }
+
+func (b *binWriter) str(s string) {
+	b.u32(uint32(len(s)))
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.WriteString(s)
+}
+
+func (b *binWriter) bytes(p []byte) {
+	b.u32(uint32(len(p)))
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.Write(p)
+}
+
+func (b *binWriter) f32s(xs []float32) {
+	b.u32(uint32(len(xs)))
+	if b.err != nil {
+		return
+	}
+	buf := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(x))
+	}
+	_, b.err = b.w.Write(buf)
+}
+
+func (b *binWriter) u16s(xs []uint16) {
+	b.u32(uint32(len(xs)))
+	if b.err != nil {
+		return
+	}
+	buf := make([]byte, 2*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint16(buf[2*i:], x)
+	}
+	_, b.err = b.w.Write(buf)
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) u32() uint32 {
+	if b.err != nil {
+		return 0
+	}
+	var tmp [4]byte
+	if _, err := io.ReadFull(b.r, tmp[:]); err != nil {
+		b.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint32(tmp[:])
+}
+
+func (b *binReader) u64() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	var tmp [8]byte
+	if _, err := io.ReadFull(b.r, tmp[:]); err != nil {
+		b.err = err
+		return 0
+	}
+	return binary.LittleEndian.Uint64(tmp[:])
+}
+
+func (b *binReader) f64() float64 { return math.Float64frombits(b.u64()) }
+
+// cap reads a length prefix, rejecting absurd values so corrupt files
+// fail cleanly instead of attempting huge allocations.
+func (b *binReader) length(max uint32) int {
+	n := b.u32()
+	if b.err == nil && n > max {
+		b.err = fmt.Errorf("%w: length %d exceeds limit %d", errBadFormat, n, max)
+	}
+	return int(n)
+}
+
+func (b *binReader) str() string {
+	n := b.length(1 << 20)
+	if b.err != nil {
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		b.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+func (b *binReader) bytes() []byte {
+	n := b.length(1 << 30)
+	if b.err != nil {
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		b.err = err
+		return nil
+	}
+	return buf
+}
+
+func (b *binReader) f32s() []float32 {
+	n := b.length(1 << 28)
+	if b.err != nil {
+		return nil
+	}
+	buf := make([]byte, 4*n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		b.err = err
+		return nil
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out
+}
+
+func (b *binReader) u16s() []uint16 {
+	n := b.length(1 << 28)
+	if b.err != nil {
+		return nil
+	}
+	buf := make([]byte, 2*n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		b.err = err
+		return nil
+	}
+	out := make([]uint16, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(buf[2*i:])
+	}
+	return out
+}
+
+// Save writes the model (config, dense parameters, tables) to w.
+func Save(w io.Writer, m *Model) error {
+	bw := &binWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	bw.str(serializeMagic)
+	bw.u32(serializeVersion)
+
+	// Config.
+	bw.str(m.Config.Name)
+	bw.u64(uint64(m.Config.Seed))
+	bw.u32(uint32(m.Config.MeanItems))
+	bw.f64(m.Config.ItemsSigma)
+	bw.u32(uint32(m.Config.DefaultBatch))
+	bw.u32(uint32(len(m.Config.Nets)))
+	for _, ns := range m.Config.Nets {
+		bw.str(ns.Name)
+		bw.u32(uint32(ns.DenseDim))
+		bw.u32(uint32(ns.EmbProj))
+		bw.u32(uint32(ns.InteractFeatures))
+		bw.u32(uint32(len(ns.BottomMLP)))
+		for _, h := range ns.BottomMLP {
+			bw.u32(uint32(h))
+		}
+		bw.u32(uint32(len(ns.TopMLP)))
+		for _, h := range ns.TopMLP {
+			bw.u32(uint32(h))
+		}
+	}
+	bw.u32(uint32(len(m.Config.Tables)))
+	for _, ts := range m.Config.Tables {
+		bw.u32(uint32(ts.ID))
+		bw.str(ts.Name)
+		bw.str(ts.Net)
+		bw.u32(uint32(ts.Rows))
+		bw.u32(uint32(ts.Dim))
+		bw.f64(ts.PoolingFactor)
+	}
+
+	// Dense parameters.
+	bw.u32(uint32(len(m.NetParams)))
+	for _, np := range m.NetParams {
+		writeFCs := func(fcs []FCParams) {
+			bw.u32(uint32(len(fcs)))
+			for _, fc := range fcs {
+				bw.u32(uint32(fc.W.Rows))
+				bw.u32(uint32(fc.W.Cols))
+				bw.f32s(fc.W.Data)
+				bw.f32s(fc.B)
+			}
+		}
+		writeFCs(np.Bottom)
+		writeFCs([]FCParams{np.Proj})
+		writeFCs(np.Top)
+	}
+
+	// Tables.
+	bw.u32(uint32(len(m.Tables)))
+	for i, t := range m.Tables {
+		switch tt := t.(type) {
+		case *embedding.Dense:
+			bw.u32(tableKindDense)
+			bw.u32(uint32(tt.RowsN))
+			bw.u32(uint32(tt.DimN))
+			bw.f32s(tt.Data)
+		case *embedding.Quantized:
+			enc := tt.Encoding()
+			bw.u32(tableKindQuant)
+			bw.u32(uint32(enc.Rows))
+			bw.u32(uint32(enc.Cols))
+			bw.u32(uint32(enc.Bits))
+			bw.u16s(enc.Scales)
+			bw.u16s(enc.Biases)
+			bw.bytes(enc.Packed)
+		default:
+			return fmt.Errorf("model: table %d has unserializable backend %T", i, t)
+		}
+	}
+	if bw.err != nil {
+		return bw.err
+	}
+	return bw.w.Flush()
+}
+
+// Load reads a model written by Save, validating structure as it goes.
+func Load(r io.Reader) (*Model, error) {
+	br := &binReader{r: bufio.NewReaderSize(r, 1<<20)}
+	if magic := br.str(); br.err != nil || magic != serializeMagic {
+		return nil, fmt.Errorf("%w: bad magic", errBadFormat)
+	}
+	if v := br.u32(); br.err != nil || v != serializeVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", errBadFormat, v)
+	}
+
+	var cfg Config
+	cfg.Name = br.str()
+	cfg.Seed = int64(br.u64())
+	cfg.MeanItems = int(br.u32())
+	cfg.ItemsSigma = br.f64()
+	cfg.DefaultBatch = int(br.u32())
+	nNets := br.length(64)
+	for i := 0; i < nNets && br.err == nil; i++ {
+		var ns NetSpec
+		ns.Name = br.str()
+		ns.DenseDim = int(br.u32())
+		ns.EmbProj = int(br.u32())
+		ns.InteractFeatures = int(br.u32())
+		for j, n := 0, br.length(64); j < n && br.err == nil; j++ {
+			ns.BottomMLP = append(ns.BottomMLP, int(br.u32()))
+		}
+		for j, n := 0, br.length(64); j < n && br.err == nil; j++ {
+			ns.TopMLP = append(ns.TopMLP, int(br.u32()))
+		}
+		cfg.Nets = append(cfg.Nets, ns)
+	}
+	nTables := br.length(1 << 16)
+	for i := 0; i < nTables && br.err == nil; i++ {
+		var ts TableSpec
+		ts.ID = int(br.u32())
+		ts.Name = br.str()
+		ts.Net = br.str()
+		ts.Rows = int(br.u32())
+		ts.Dim = int(br.u32())
+		ts.PoolingFactor = br.f64()
+		if br.err == nil && ts.ID != i {
+			return nil, fmt.Errorf("%w: table %d has ID %d", errBadFormat, i, ts.ID)
+		}
+		cfg.Tables = append(cfg.Tables, ts)
+	}
+
+	m := &Model{Config: cfg}
+	nParams := br.length(64)
+	readFCs := func() []FCParams {
+		n := br.length(64)
+		var out []FCParams
+		for i := 0; i < n && br.err == nil; i++ {
+			rows, cols := int(br.u32()), int(br.u32())
+			data := br.f32s()
+			bias := br.f32s()
+			if br.err != nil {
+				return nil
+			}
+			if len(data) != rows*cols || len(bias) != cols {
+				br.err = fmt.Errorf("%w: FC shape mismatch %dx%d", errBadFormat, rows, cols)
+				return nil
+			}
+			out = append(out, FCParams{W: tensor.FromSlice(rows, cols, data), B: bias})
+		}
+		return out
+	}
+	for i := 0; i < nParams && br.err == nil; i++ {
+		var np NetParams
+		np.Bottom = readFCs()
+		proj := readFCs()
+		if br.err == nil && len(proj) != 1 {
+			return nil, fmt.Errorf("%w: expected one projection layer", errBadFormat)
+		}
+		if br.err == nil {
+			np.Proj = proj[0]
+		}
+		np.Top = readFCs()
+		m.NetParams = append(m.NetParams, np)
+	}
+
+	nBackends := br.length(1 << 16)
+	if br.err == nil && nBackends != len(cfg.Tables) {
+		return nil, fmt.Errorf("%w: %d table backends for %d specs", errBadFormat, nBackends, len(cfg.Tables))
+	}
+	for i := 0; i < nBackends && br.err == nil; i++ {
+		kind := br.u32()
+		switch kind {
+		case tableKindDense:
+			rows, dim := int(br.u32()), int(br.u32())
+			data := br.f32s()
+			if br.err != nil {
+				break
+			}
+			if len(data) != rows*dim {
+				return nil, fmt.Errorf("%w: table %d data mismatch", errBadFormat, i)
+			}
+			m.Tables = append(m.Tables, &embedding.Dense{RowsN: rows, DimN: dim, Data: data})
+		case tableKindQuant:
+			rows, cols, bits := int(br.u32()), int(br.u32()), int(br.u32())
+			scales := br.u16s()
+			biases := br.u16s()
+			packed := br.bytes()
+			if br.err != nil {
+				break
+			}
+			qt, err := embedding.QuantizedFromEncoding(rows, cols, bits, scales, biases, packed)
+			if err != nil {
+				return nil, err
+			}
+			m.Tables = append(m.Tables, qt)
+		default:
+			return nil, fmt.Errorf("%w: unknown table kind %d", errBadFormat, kind)
+		}
+	}
+	if br.err != nil {
+		return nil, br.err
+	}
+	return m, nil
+}

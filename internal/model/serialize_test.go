@@ -1,0 +1,161 @@
+package model
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+)
+
+func smallTestModel() *Model {
+	cfg := DRM3()
+	for i := range cfg.Tables {
+		cfg.Tables[i].Rows = 32
+	}
+	return Build(cfg)
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	m := smallTestModel()
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Config identity.
+	if got.Config.Name != m.Config.Name || got.Config.Seed != m.Config.Seed ||
+		got.Config.MeanItems != m.Config.MeanItems || got.Config.DefaultBatch != m.Config.DefaultBatch {
+		t.Fatalf("config mismatch: %+v vs %+v", got.Config, m.Config)
+	}
+	if len(got.Config.Nets) != len(m.Config.Nets) || len(got.Config.Tables) != len(m.Config.Tables) {
+		t.Fatal("structure mismatch")
+	}
+	for i := range m.Config.Nets {
+		a, b := got.Config.Nets[i], m.Config.Nets[i]
+		if a.Name != b.Name || a.DenseDim != b.DenseDim || a.EmbProj != b.EmbProj || len(a.BottomMLP) != len(b.BottomMLP) || len(a.TopMLP) != len(b.TopMLP) {
+			t.Fatalf("net %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	for i := range m.Config.Tables {
+		if got.Config.Tables[i] != m.Config.Tables[i] {
+			t.Fatalf("table spec %d mismatch", i)
+		}
+	}
+
+	// Dense parameters bit-identical.
+	for n := range m.NetParams {
+		a, b := got.NetParams[n], m.NetParams[n]
+		for i := range b.Proj.W.Data {
+			if a.Proj.W.Data[i] != b.Proj.W.Data[i] {
+				t.Fatal("projection weights differ")
+			}
+		}
+		for l := range b.Bottom {
+			for i := range b.Bottom[l].B {
+				if a.Bottom[l].B[i] != b.Bottom[l].B[i] {
+					t.Fatal("bottom bias differs")
+				}
+			}
+		}
+	}
+
+	// Table data bit-identical.
+	for i := range m.Tables {
+		a := got.Tables[i].(*embedding.Dense)
+		b := m.Tables[i].(*embedding.Dense)
+		for j := range b.Data {
+			if a.Data[j] != b.Data[j] {
+				t.Fatalf("table %d data differs at %d", i, j)
+			}
+		}
+	}
+}
+
+func TestSaveLoadQuantizedTables(t *testing.T) {
+	m := smallTestModel().Compress(1, 0.001) // everything 4-bit (threshold 1 byte)
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SparseTableBytes() != m.SparseTableBytes() {
+		t.Fatalf("quantized bytes differ: %d vs %d", got.SparseTableBytes(), m.SparseTableBytes())
+	}
+	// Lookups identical through the round trip.
+	accA := make([]float32, m.Tables[1].Dim())
+	accB := make([]float32, m.Tables[1].Dim())
+	m.Tables[1].AccumulateRow(accA, 3)
+	got.Tables[1].AccumulateRow(accB, 3)
+	for i := range accA {
+		if accA[i] != accB[i] {
+			t.Fatal("quantized lookup differs after round trip")
+		}
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	m := smallTestModel()
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte(nil), full...)
+	bad[4] = 'X'
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Bad version.
+	bad = append([]byte(nil), full...)
+	bad[8] = 99
+	if _, err := Load(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Truncations at assorted depths.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 25; i++ {
+		cut := 9 + rng.Intn(len(full)-10)
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Empty input.
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+}
+
+func TestSaveLoadBuildEquivalence(t *testing.T) {
+	// A loaded model must behave identically to the built one: verify by
+	// pooling a few rows from every table backend type.
+	m := smallTestModel()
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Tables {
+		a := make([]float32, m.Tables[i].Dim())
+		b := make([]float32, m.Tables[i].Dim())
+		m.Tables[i].AccumulateRow(a, i%m.Tables[i].NumRows())
+		got.Tables[i].AccumulateRow(b, i%m.Tables[i].NumRows())
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("table %d lookup differs", i)
+			}
+		}
+	}
+}

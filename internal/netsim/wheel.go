@@ -1,0 +1,165 @@
+package netsim
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Wheel delivers microsecond-precision delays with a single dedicated
+// dispatcher goroutine. Naive per-message busy-waiting oversubscribes the
+// host when dozens of messages are in flight (8 shards × several batches
+// × 2 directions), which inflates the simulated latency exactly when the
+// experiment sweeps to higher shard counts — the wheel burns at most one
+// core regardless of in-flight count. Kernel timer granularity on this
+// class of host is ~1.5ms, so the dispatcher sleeps only while the next
+// deadline is comfortably far and spins the final stretch.
+type Wheel struct {
+	mu     sync.Mutex
+	events eventHeap
+	wake   chan struct{}
+	once   sync.Once
+}
+
+type event struct {
+	at time.Time
+	ch chan struct{}
+	fn func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+var defaultWheel = &Wheel{wake: make(chan struct{}, 1)}
+
+// After returns a channel closed once d has elapsed, scheduled on the
+// process-wide wheel.
+func After(d time.Duration) <-chan struct{} { return defaultWheel.After(d) }
+
+// AfterFunc runs fn once d has elapsed, inline on the process-wide
+// wheel's dispatcher. fn must be short (a frame write, a channel send):
+// long callbacks delay every later event. Compared with waking a parked
+// goroutine, the inline call avoids a scheduler handoff — worth hundreds
+// of microseconds under sandboxed kernels — which is exactly the path a
+// simulated NIC's transmit completion takes.
+func AfterFunc(d time.Duration, fn func()) { defaultWheel.AfterFunc(d, fn) }
+
+// Wait blocks for d with microsecond precision.
+func Wait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-After(d)
+}
+
+// After schedules a delay on this wheel.
+func (w *Wheel) After(d time.Duration) <-chan struct{} {
+	ch := make(chan struct{})
+	if d <= 0 {
+		close(ch)
+		return ch
+	}
+	w.schedule(event{at: time.Now().Add(d), ch: ch})
+	return ch
+}
+
+// AfterFunc schedules fn to run inline on this wheel's dispatcher.
+func (w *Wheel) AfterFunc(d time.Duration, fn func()) {
+	if d <= 0 {
+		fn()
+		return
+	}
+	w.schedule(event{at: time.Now().Add(d), fn: fn})
+}
+
+func (w *Wheel) schedule(e event) {
+	w.once.Do(func() { go w.loop() })
+	w.mu.Lock()
+	heap.Push(&w.events, e)
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+}
+
+// sleepSlack is how much earlier than a deadline the dispatcher stops
+// sleeping and starts spinning, covering worst-case sleep overshoot.
+const sleepSlack = 2 * time.Millisecond
+
+func (w *Wheel) loop() {
+	for {
+		w.mu.Lock()
+		if len(w.events) == 0 {
+			w.mu.Unlock()
+			<-w.wake
+			continue
+		}
+		next := w.events[0].at
+		now := time.Now()
+		if !next.After(now) {
+			// Fire everything due. Callback events run inline (outside
+			// the lock) so a frame write cannot deadlock against a
+			// scheduler that inserts new events.
+			var due []event
+			for len(w.events) > 0 && !w.events[0].at.After(now) {
+				due = append(due, heap.Pop(&w.events).(event))
+			}
+			w.mu.Unlock()
+			for _, e := range due {
+				if e.fn != nil {
+					// Callbacks do real work (frame writes); running them
+					// inline would serialize every in-flight message
+					// through this dispatcher. Spawn: the burst fans out
+					// across idle cores.
+					go e.fn()
+				} else {
+					close(e.ch)
+				}
+			}
+			continue
+		}
+		w.mu.Unlock()
+
+		if wait := next.Sub(now); wait > sleepSlack {
+			// Far out: sleep coarsely, but wake early for new events.
+			t := time.NewTimer(wait - sleepSlack)
+			select {
+			case <-t.C:
+			case <-w.wake:
+				t.Stop()
+			}
+			continue
+		}
+		// Close in: spin, still noticing earlier insertions.
+		for time.Now().Before(next) {
+			select {
+			case <-w.wake:
+				// A new event may now be earliest; recompute.
+				next = w.earliest(next)
+			default:
+			}
+		}
+	}
+}
+
+// earliest returns the sooner of cur and the heap head.
+func (w *Wheel) earliest(cur time.Time) time.Time {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if len(w.events) > 0 && w.events[0].at.Before(cur) {
+		return w.events[0].at
+	}
+	return cur
+}

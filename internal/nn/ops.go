@@ -1,0 +1,307 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// FC is a fully-connected layer: Output = Input·W + B. The dense stacks of
+// the recommendation models (bottom MLP over dense features, top MLP over
+// interactions) are chains of FC + activation operators, and per Fig. 4
+// they dominate per-request compute.
+type FC struct {
+	OpName        string
+	W             *tensor.Matrix // In×Out
+	B             []float32      // len Out
+	Input, Output string
+}
+
+// Name implements Op.
+func (o *FC) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *FC) Kind() OpKind { return KindDense }
+
+// Run implements Op.
+func (o *FC) Run(ws *Workspace) error {
+	in, err := ws.WaitBlob(o.Input)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.OpName, err)
+	}
+	if in.Cols != o.W.Rows {
+		return fmt.Errorf("%s: input cols %d != weight rows %d", o.OpName, in.Cols, o.W.Rows)
+	}
+	out := tensor.New(in.Rows, o.W.Cols)
+	tensor.MatMul(out, in, o.W)
+	if o.B != nil {
+		tensor.AddBiasRows(out, o.B)
+	}
+	ws.SetBlob(o.Output, out)
+	return nil
+}
+
+// ActivationFunc selects the nonlinearity applied by an Activation op.
+type ActivationFunc int
+
+// Supported activations.
+const (
+	ActReLU ActivationFunc = iota
+	ActSigmoid
+)
+
+// Activation applies a nonlinearity in place on a blob.
+type Activation struct {
+	OpName string
+	Func   ActivationFunc
+	Blob   string
+}
+
+// Name implements Op.
+func (o *Activation) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *Activation) Kind() OpKind { return KindActivation }
+
+// Run implements Op.
+func (o *Activation) Run(ws *Workspace) error {
+	m, err := ws.WaitBlob(o.Blob)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.OpName, err)
+	}
+	switch o.Func {
+	case ActReLU:
+		tensor.ReLU(m)
+	case ActSigmoid:
+		tensor.Sigmoid(m)
+	default:
+		return fmt.Errorf("%s: unknown activation %d", o.OpName, o.Func)
+	}
+	return nil
+}
+
+// ScaleClip scales then clamps a blob in place, modeling the
+// preprocessing operators in Fig. 4's "Scale/Clip" group.
+type ScaleClip struct {
+	OpName string
+	Scale  float32
+	Lo, Hi float32
+	Blob   string
+}
+
+// Name implements Op.
+func (o *ScaleClip) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *ScaleClip) Kind() OpKind { return KindScaleClip }
+
+// Run implements Op.
+func (o *ScaleClip) Run(ws *Workspace) error {
+	m, err := ws.WaitBlob(o.Blob)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.OpName, err)
+	}
+	tensor.Scale(m, o.Scale)
+	tensor.Clip(m, o.Lo, o.Hi)
+	return nil
+}
+
+// HashBags transforms raw sparse-feature IDs into embedding-table indices
+// by hashing them into [0, Buckets) — the "sparse inputs are transformed
+// into a list of access IDs, or hash indices" step of Section II-1 and the
+// "Hash" group of Fig. 4.
+type HashBags struct {
+	OpName        string
+	Buckets       int32
+	Input, Output string
+}
+
+// Name implements Op.
+func (o *HashBags) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *HashBags) Kind() OpKind { return KindHash }
+
+// Run implements Op.
+func (o *HashBags) Run(ws *Workspace) error {
+	in, err := ws.Bags(o.Input)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.OpName, err)
+	}
+	if o.Buckets <= 0 {
+		return fmt.Errorf("%s: buckets %d <= 0", o.OpName, o.Buckets)
+	}
+	out := make([]embedding.Bag, len(in))
+	for b, bag := range in {
+		out[b].Indices = make([]int32, len(bag.Indices))
+		for i, id := range bag.Indices {
+			out[b].Indices[i] = hash32(id) % o.Buckets
+		}
+	}
+	ws.SetBags(o.Output, out)
+	return nil
+}
+
+// hash32 is a Murmur-style finalizer: cheap, deterministic, well mixed.
+func hash32(x int32) int32 {
+	h := uint32(x)
+	h ^= h >> 16
+	h *= 0x85ebca6b
+	h ^= h >> 13
+	h *= 0xc2b2ae35
+	h ^= h >> 16
+	return int32(h & 0x7fffffff)
+}
+
+// Fill creates a constant-valued blob, mirroring Caffe2's *Fill operators
+// (Fig. 4's "Fill" group) used to materialize defaults for absent features.
+type Fill struct {
+	OpName     string
+	Rows, Cols int
+	Value      float32
+	Output     string
+}
+
+// Name implements Op.
+func (o *Fill) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *Fill) Kind() OpKind { return KindFill }
+
+// Run implements Op.
+func (o *Fill) Run(ws *Workspace) error {
+	m := tensor.New(o.Rows, o.Cols)
+	if o.Value != 0 {
+		for i := range m.Data {
+			m.Data[i] = o.Value
+		}
+	}
+	ws.SetBlob(o.Output, m)
+	return nil
+}
+
+// SLSOp executes SparseLengthsSum: pooled embedding lookup of one sparse
+// feature against one table. In the singular model these ops run in-line
+// on the main shard; sharding moves them to sparse shards behind RPC ops.
+type SLSOp struct {
+	OpName string
+	Table  embedding.Table
+	// InputBags names the hashed index bags; Output receives a
+	// len(bags)×dim pooled matrix.
+	InputBags, Output string
+}
+
+// Name implements Op.
+func (o *SLSOp) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *SLSOp) Kind() OpKind { return KindSparse }
+
+// Run implements Op.
+func (o *SLSOp) Run(ws *Workspace) error {
+	bags, err := ws.Bags(o.InputBags)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.OpName, err)
+	}
+	dim := o.Table.Dim()
+	out := tensor.New(len(bags), dim)
+	embedding.SLS(out.Data, o.Table, bags)
+	ws.SetBlob(o.Output, out)
+	return nil
+}
+
+// ConcatOp concatenates blobs horizontally into Output (Fig. 4's "Memory
+// Transformations" group).
+type ConcatOp struct {
+	OpName string
+	Inputs []string
+	Output string
+}
+
+// Name implements Op.
+func (o *ConcatOp) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *ConcatOp) Kind() OpKind { return KindMemoryTransform }
+
+// Run implements Op.
+func (o *ConcatOp) Run(ws *Workspace) error {
+	ms := make([]*tensor.Matrix, len(o.Inputs))
+	for i, name := range o.Inputs {
+		m, err := ws.WaitBlob(name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", o.OpName, err)
+		}
+		ms[i] = m
+	}
+	ws.SetBlob(o.Output, tensor.Concat(ms...))
+	return nil
+}
+
+// Interaction computes the DLRM pairwise-dot feature interaction over a
+// set of equal-shaped feature blobs and concatenates the result with the
+// Passthrough blob (the bottom-MLP output), producing the top-MLP input.
+type Interaction struct {
+	OpName      string
+	Features    []string
+	Passthrough string
+	Output      string
+}
+
+// Name implements Op.
+func (o *Interaction) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *Interaction) Kind() OpKind { return KindFeatureTransform }
+
+// Run implements Op.
+func (o *Interaction) Run(ws *Workspace) error {
+	feats := make([]*tensor.Matrix, len(o.Features))
+	for i, name := range o.Features {
+		m, err := ws.WaitBlob(name)
+		if err != nil {
+			return fmt.Errorf("%s: %w", o.OpName, err)
+		}
+		feats[i] = m
+	}
+	dots := tensor.PairwiseDot(feats)
+	pass, err := ws.WaitBlob(o.Passthrough)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.OpName, err)
+	}
+	ws.SetBlob(o.Output, tensor.Concat(pass, dots))
+	return nil
+}
+
+// SplitBlob slices a blob's columns into Output, modeling tensor reshape
+// and split traffic ("Memory Transformations").
+type SplitBlob struct {
+	OpName         string
+	Input          string
+	FromCol, ToCol int
+	Output         string
+}
+
+// Name implements Op.
+func (o *SplitBlob) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *SplitBlob) Kind() OpKind { return KindMemoryTransform }
+
+// Run implements Op.
+func (o *SplitBlob) Run(ws *Workspace) error {
+	in, err := ws.WaitBlob(o.Input)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.OpName, err)
+	}
+	if o.FromCol < 0 || o.ToCol > in.Cols || o.FromCol >= o.ToCol {
+		return fmt.Errorf("%s: bad column range [%d, %d) for %d cols", o.OpName, o.FromCol, o.ToCol, in.Cols)
+	}
+	out := tensor.New(in.Rows, o.ToCol-o.FromCol)
+	for r := 0; r < in.Rows; r++ {
+		copy(out.Row(r), in.Row(r)[o.FromCol:o.ToCol])
+	}
+	ws.SetBlob(o.Output, out)
+	return nil
+}

@@ -1,0 +1,132 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+)
+
+// FusedSLSEntry is one table inside a FusedSLS op.
+type FusedSLSEntry struct {
+	Table     embedding.Table
+	InputBags string
+	// ColOffset is the table's column range start in the fused output.
+	ColOffset int
+	// CopyOut, when non-empty, additionally materializes the table's
+	// pooled rows as a standalone blob (needed by the pairwise
+	// interaction, which consumes per-feature matrices).
+	CopyOut string
+}
+
+// FusedSLS pools every entry's lookups directly into one pre-concatenated
+// bags×Cols embedding matrix, the fusion of SparseLengthsSum and the
+// following Concat that optimized CPU serving stacks perform: it touches
+// one output allocation instead of one per table, so its cost tracks the
+// pooling work (the paper's operative quantity) rather than allocator
+// overhead.
+type FusedSLS struct {
+	OpName string
+	// Output receives the bags×Cols fused matrix.
+	Output string
+	// Cols is the sum of entry dims.
+	Cols    int
+	Entries []FusedSLSEntry
+}
+
+// Name implements Op.
+func (o *FusedSLS) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *FusedSLS) Kind() OpKind { return KindSparse }
+
+// Run implements Op.
+func (o *FusedSLS) Run(ws *Workspace) error {
+	if len(o.Entries) == 0 {
+		return fmt.Errorf("%s: no entries", o.OpName)
+	}
+	first, err := ws.Bags(o.Entries[0].InputBags)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.OpName, err)
+	}
+	rows := len(first)
+	var emb *tensor.Matrix
+	if ws.HasBlob(o.Output) {
+		// Output blob pre-materialized by an AllocEmb (Fill) operator —
+		// the Caffe2 pattern where *Fill ops create output storage and
+		// SLS only pools into it.
+		emb, err = ws.Blob(o.Output)
+		if err != nil {
+			return err
+		}
+		if emb.Rows != rows || emb.Cols != o.Cols {
+			return fmt.Errorf("%s: preallocated output is %dx%d, want %dx%d", o.OpName, emb.Rows, emb.Cols, rows, o.Cols)
+		}
+	} else {
+		emb = tensor.New(rows, o.Cols)
+	}
+	for i := range o.Entries {
+		e := &o.Entries[i]
+		bags, err := ws.Bags(e.InputBags)
+		if err != nil {
+			return fmt.Errorf("%s[%d]: %w", o.OpName, i, err)
+		}
+		if len(bags) != rows {
+			return fmt.Errorf("%s[%d]: %d bags, want %d", o.OpName, i, len(bags), rows)
+		}
+		dim := e.Table.Dim()
+		if e.ColOffset < 0 || e.ColOffset+dim > o.Cols {
+			return fmt.Errorf("%s[%d]: column range [%d, %d) outside %d", o.OpName, i, e.ColOffset, e.ColOffset+dim, o.Cols)
+		}
+		nRows := e.Table.NumRows()
+		for b := range bags {
+			if len(bags[b].Indices) == 0 {
+				continue
+			}
+			acc := emb.Row(b)[e.ColOffset : e.ColOffset+dim]
+			for _, idx := range bags[b].Indices {
+				if idx < 0 || int(idx) >= nRows {
+					return fmt.Errorf("%s[%d]: index %d out of range [0,%d)", o.OpName, i, idx, nRows)
+				}
+				e.Table.AccumulateRow(acc, int(idx))
+			}
+		}
+		if e.CopyOut != "" {
+			small := tensor.New(rows, dim)
+			for b := 0; b < rows; b++ {
+				copy(small.Row(b), emb.Row(b)[e.ColOffset:e.ColOffset+dim])
+			}
+			ws.SetBlob(e.CopyOut, small)
+		}
+	}
+	ws.SetBlob(o.Output, emb)
+	return nil
+}
+
+// AllocEmb materializes a zeroed rows×Cols matrix whose row count tracks
+// a bag input's length — the fused embedding output blob. It is a Fill
+// operator (Fig. 4's "Fill" group): output-storage materialization is
+// framework work, not pooling work.
+type AllocEmb struct {
+	OpName string
+	// RowsFrom names a bag input whose length gives the row count.
+	RowsFrom string
+	Cols     int
+	Output   string
+}
+
+// Name implements Op.
+func (o *AllocEmb) Name() string { return o.OpName }
+
+// Kind implements Op.
+func (o *AllocEmb) Kind() OpKind { return KindFill }
+
+// Run implements Op.
+func (o *AllocEmb) Run(ws *Workspace) error {
+	bags, err := ws.Bags(o.RowsFrom)
+	if err != nil {
+		return fmt.Errorf("%s: %w", o.OpName, err)
+	}
+	ws.SetBlob(o.Output, tensor.New(len(bags), o.Cols))
+	return nil
+}

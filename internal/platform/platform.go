@@ -1,0 +1,65 @@
+// Package platform models the two server classes of the paper's test
+// fleet (Section V-B): SC-Large, "a typical large server ... 256GB of
+// DRAM and two 20-core Intel CPUs", and SC-Small, "a typical, more
+// efficient web server" with slower cores, a quarter of the memory, and
+// less network bandwidth.
+//
+// The properties that matter to the characterization are relative: the
+// per-request RPC boilerplate costs more cycles on slower cores, and the
+// network path is slower. Sparse-operator time is dominated by memory
+// access and is deliberately NOT scaled — that insensitivity is exactly
+// the Fig. 15 finding ("no significant latency overheads are incurred
+// despite platform differences") and the basis for the paper's
+// suggestion to serve sparse shards from cheaper machines.
+package platform
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Platform describes one server class.
+type Platform struct {
+	// Name labels the platform in reports.
+	Name string
+	// BoilerplateScale multiplies the RPC service boilerplate cost,
+	// modeling clock-speed differences on the service stack.
+	BoilerplateScale float64
+	// OpComputeScale stretches ML operator time; 1.0 for memory-bound
+	// sparse shards on both classes.
+	OpComputeScale float64
+	// Network returns the platform's link profile, seeded per shard.
+	Network func(seed int64) netsim.Profile
+	// MemoryBytes is the advertised DRAM capacity (scaled units), used by
+	// capacity checks in the serving examples.
+	MemoryBytes int64
+}
+
+// Boilerplate cost of one RPC service invocation on SC-Large; see
+// DESIGN.md for how this was calibrated against the paper's compute
+// overhead proportions.
+const BaseBoilerplate = 8 * time.Microsecond
+
+// SCLarge is the paper's big dual-socket serving platform.
+func SCLarge() Platform {
+	return Platform{
+		Name:             "SC-Large",
+		BoilerplateScale: 1.0,
+		OpComputeScale:   1.0,
+		Network:          netsim.DataCenter,
+		MemoryBytes:      256 * 1024 * 1024, // 256 GB at the 1024× scale
+	}
+}
+
+// SCSmall is the efficient web-server platform: slower cores (heavier
+// relative boilerplate), less network bandwidth, a quarter of the DRAM.
+func SCSmall() Platform {
+	return Platform{
+		Name:             "SC-Small",
+		BoilerplateScale: 1.6,
+		OpComputeScale:   1.0, // sparse ops are memory-bound: unchanged
+		Network:          netsim.Slow,
+		MemoryBytes:      64 * 1024 * 1024,
+	}
+}

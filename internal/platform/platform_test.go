@@ -1,0 +1,43 @@
+package platform
+
+import "testing"
+
+func TestPlatformContracts(t *testing.T) {
+	large, small := SCLarge(), SCSmall()
+	if large.Name == small.Name {
+		t.Error("platforms must be distinguishable")
+	}
+	// SC-Small: slower service stack, never slower sparse ops (they are
+	// memory-bound — the Fig. 15 premise).
+	if small.BoilerplateScale <= large.BoilerplateScale {
+		t.Error("SC-Small should pay more for RPC boilerplate")
+	}
+	if small.OpComputeScale != large.OpComputeScale {
+		t.Error("sparse-op time must not scale with platform (memory-bound)")
+	}
+	// Paper: SC-Small has a quarter of SC-Large's DRAM.
+	if large.MemoryBytes != 4*small.MemoryBytes {
+		t.Errorf("memory ratio %d:%d, want 4:1", large.MemoryBytes, small.MemoryBytes)
+	}
+	// Network: slower base, less bandwidth.
+	lp, sp := large.Network(1), small.Network(1)
+	if sp.Request.Base <= lp.Request.Base {
+		t.Error("SC-Small links should be slower")
+	}
+	if sp.Request.BytesPerSec >= lp.Request.BytesPerSec {
+		t.Error("SC-Small links should have less bandwidth")
+	}
+	if BaseBoilerplate <= 0 {
+		t.Error("boilerplate cost must be positive")
+	}
+}
+
+func TestNetworkSeeding(t *testing.T) {
+	a := SCLarge().Network(7)
+	b := SCLarge().Network(7)
+	for i := 0; i < 10; i++ {
+		if a.Request.Delay(100) != b.Request.Delay(100) {
+			t.Fatal("same seed must give identical link behavior")
+		}
+	}
+}

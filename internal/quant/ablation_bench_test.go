@@ -1,0 +1,67 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Ablation: lookup-path cost of quantization widths. Table III's finding
+// that compression barely moves latency rests on the dequantize-fused
+// pooling staying close to raw fp32 accumulation.
+func BenchmarkAccumulateRowByWidth(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const rows, cols = 65536, 16
+	data := make([]float32, rows*cols)
+	for i := range data {
+		data[i] = rng.Float32()*2 - 1
+	}
+	idx := make([]int, 4096)
+	for i := range idx {
+		idx[i] = rng.Intn(rows)
+	}
+
+	b.Run("fp32", func(b *testing.B) {
+		acc := make([]float32, cols)
+		for i := 0; i < b.N; i++ {
+			row := data[idx[i%len(idx)]*cols:]
+			for c := 0; c < cols; c++ {
+				acc[c] += row[c]
+			}
+		}
+	})
+	for _, bits := range []Bits{Bits8, Bits4} {
+		q := QuantizeRows(data, rows, cols, bits)
+		name := "int8"
+		if bits == Bits4 {
+			name = "int4"
+		}
+		b.Run(name, func(b *testing.B) {
+			acc := make([]float32, cols)
+			for i := 0; i < b.N; i++ {
+				q.AccumulateRow(acc, idx[i%len(idx)])
+			}
+		})
+	}
+}
+
+// Ablation: encode throughput by width (the model-publishing cost).
+func BenchmarkQuantizeRowsByWidth(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const rows, cols = 4096, 16
+	data := make([]float32, rows*cols)
+	for i := range data {
+		data[i] = rng.Float32()
+	}
+	for _, bits := range []Bits{Bits8, Bits4} {
+		name := "int8"
+		if bits == Bits4 {
+			name = "int4"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				QuantizeRows(data, rows, cols, bits)
+			}
+			b.SetBytes(int64(len(data)) * 4)
+		})
+	}
+}

@@ -1,0 +1,152 @@
+// Package replication models the data-center serving economics of
+// Section VII-C: inference servers are replicated to meet aggregate QPS,
+// and because a singular deployment couples the compute-hungry dense
+// layers to the memory-hungry embedding tables, every compute-driven
+// replica duplicates hundreds of gigabytes of tables it barely touches
+// ("the majority of compute touches less than 3% of the model's memory
+// footprint"). Distributed inference decouples the two: main-shard
+// replicas carry only dense parameters, sparse-shard replicas are scaled
+// by their own (small) load, and the advisor quantifies the resulting
+// fleet memory savings.
+package replication
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sharding"
+)
+
+// ServerSpec describes one server class's provisioning-relevant capacity.
+type ServerSpec struct {
+	// Name labels the class ("SC-Large").
+	Name string
+	// Cores is the number of usable cores.
+	Cores int
+	// TargetUtilization is the fraction of core-seconds the planner may
+	// commit (head-room for diurnal peaks and tail tolerance).
+	TargetUtilization float64
+	// MemoryBytes is usable DRAM.
+	MemoryBytes int64
+}
+
+// Load captures one deployment's measured per-request costs.
+type Load struct {
+	// MainCPUPerRequest is CPU consumed at the main shard per request
+	// (dense ops + serde + service).
+	MainCPUPerRequest time.Duration
+	// SparseCPUPerRequest is CPU per request per sparse shard, indexed by
+	// shard number − 1; empty for singular deployments.
+	SparseCPUPerRequest []time.Duration
+}
+
+// Advice is a provisioning plan for one deployment at a target QPS.
+type Advice struct {
+	Plan      *sharding.Plan
+	TargetQPS float64
+
+	// MainReplicas is the number of main-shard (or singular) servers.
+	MainReplicas int
+	// SparseReplicas holds per-shard replica counts (empty for singular).
+	SparseReplicas []int
+	// TotalServers across all roles.
+	TotalServers int
+	// TotalMemoryBytes is the fleet-wide model memory (parameters only).
+	TotalMemoryBytes int64
+	// MemoryCapBound reports whether any replica count was forced up by
+	// memory capacity rather than compute (a capacity-bound fleet).
+	MemoryCapBound bool
+}
+
+// Advise computes replica counts for a deployment. For singular plans the
+// whole model replicates together; for distributed plans the main shard
+// replicates on dense load and each sparse shard on its own load, with
+// every role holding only its own parameters — the decoupling the paper
+// credits with improved serving efficiency.
+func Advise(m *model.Model, plan *sharding.Plan, load Load, spec ServerSpec, targetQPS float64) (*Advice, error) {
+	if targetQPS <= 0 {
+		return nil, fmt.Errorf("replication: target QPS %v must be positive", targetQPS)
+	}
+	if spec.Cores <= 0 || spec.TargetUtilization <= 0 || spec.TargetUtilization > 1 {
+		return nil, fmt.Errorf("replication: invalid server spec %+v", spec)
+	}
+	if plan.IsDistributed() && len(load.SparseCPUPerRequest) != plan.NumShards {
+		return nil, fmt.Errorf("replication: %d sparse loads for %d shards", len(load.SparseCPUPerRequest), plan.NumShards)
+	}
+	capacityPerServer := float64(spec.Cores) * spec.TargetUtilization // core-seconds per second
+
+	adv := &Advice{Plan: plan, TargetQPS: targetQPS}
+
+	computeReplicas := func(perReq time.Duration) int {
+		demand := targetQPS * perReq.Seconds()
+		n := int(math.Ceil(demand / capacityPerServer))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	if !plan.IsDistributed() {
+		adv.MainReplicas = computeReplicas(load.MainCPUPerRequest)
+		// The whole model must also fit; if it cannot fit on one server
+		// the singular deployment is simply infeasible — which is the
+		// problem the paper exists to solve.
+		if m.TotalBytes() > spec.MemoryBytes {
+			return nil, fmt.Errorf("replication: singular model (%d bytes) exceeds %s memory (%d bytes)",
+				m.TotalBytes(), spec.Name, spec.MemoryBytes)
+		}
+		adv.TotalServers = adv.MainReplicas
+		adv.TotalMemoryBytes = int64(adv.MainReplicas) * m.TotalBytes()
+		return adv, nil
+	}
+
+	adv.MainReplicas = computeReplicas(load.MainCPUPerRequest)
+	adv.TotalMemoryBytes = int64(adv.MainReplicas) * m.DenseBytes()
+	adv.TotalServers = adv.MainReplicas
+	for i := range plan.Shards {
+		a := &plan.Shards[i]
+		bytes := sharding.ShardCapacityBytes(&m.Config, a)
+		if bytes > spec.MemoryBytes {
+			return nil, fmt.Errorf("replication: shard %d (%d bytes) exceeds %s memory", a.Shard, bytes, spec.Name)
+		}
+		n := computeReplicas(load.SparseCPUPerRequest[i])
+		adv.SparseReplicas = append(adv.SparseReplicas, n)
+		adv.TotalServers += n
+		adv.TotalMemoryBytes += int64(n) * bytes
+	}
+	return adv, nil
+}
+
+// MemoryPerQPS is the fleet memory cost normalized by throughput — the
+// efficiency metric the Section VII-C discussion turns on.
+func (a *Advice) MemoryPerQPS() float64 {
+	return float64(a.TotalMemoryBytes) / a.TargetQPS
+}
+
+// Render prints the advice as a provisioning table.
+func (a *Advice) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-22s @ %.0f QPS: %d main replica(s)", a.Plan.Name(), a.TargetQPS, a.MainReplicas)
+	if len(a.SparseReplicas) > 0 {
+		fmt.Fprintf(&b, ", sparse replicas %v", a.SparseReplicas)
+	}
+	fmt.Fprintf(&b, " => %d servers, %.1f MiB fleet model memory (%.2f KiB per QPS)\n",
+		a.TotalServers, float64(a.TotalMemoryBytes)/(1<<20), a.MemoryPerQPS()/1024)
+	return b.String()
+}
+
+// Compare renders singular-vs-distributed advice side by side and the
+// headline ratio.
+func Compare(singular, distributed *Advice) string {
+	var b strings.Builder
+	b.WriteString(singular.Render())
+	b.WriteString(distributed.Render())
+	if distributed.TotalMemoryBytes > 0 {
+		ratio := float64(singular.TotalMemoryBytes) / float64(distributed.TotalMemoryBytes)
+		fmt.Fprintf(&b, "distributed serving cuts fleet model memory %.1fx at equal QPS\n", ratio)
+	}
+	return b.String()
+}

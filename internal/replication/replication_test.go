@@ -1,0 +1,155 @@
+package replication
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/sharding"
+)
+
+func testModelAndPlans(t *testing.T) (*model.Model, *sharding.Plan, *sharding.Plan) {
+	t.Helper()
+	cfg := model.DRM2()
+	// Shrink tables so Build is instant; ratios preserved.
+	for i := range cfg.Tables {
+		cfg.Tables[i].Rows = 64
+	}
+	m := model.Build(cfg)
+	singular := sharding.Singular(&cfg)
+	dist, err := sharding.CapacityBalanced(&cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, singular, dist
+}
+
+func spec() ServerSpec {
+	return ServerSpec{Name: "SC-Large", Cores: 40, TargetUtilization: 0.5, MemoryBytes: 1 << 30}
+}
+
+func TestAdviseSingular(t *testing.T) {
+	m, singular, _ := testModelAndPlans(t)
+	// 10ms of main CPU per request, 20 usable core-seconds per second per
+	// server → 2000 QPS per server.
+	adv, err := Advise(m, singular, Load{MainCPUPerRequest: 10 * time.Millisecond}, spec(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.MainReplicas != 3 || adv.TotalServers != 3 {
+		t.Errorf("replicas = %d/%d, want 3/3", adv.MainReplicas, adv.TotalServers)
+	}
+	if adv.TotalMemoryBytes != 3*m.TotalBytes() {
+		t.Errorf("singular replication must duplicate the whole model: %d", adv.TotalMemoryBytes)
+	}
+}
+
+func TestAdviseDistributedDecouplesMemory(t *testing.T) {
+	m, singular, dist := testModelAndPlans(t)
+	load := Load{
+		MainCPUPerRequest:   10 * time.Millisecond,
+		SparseCPUPerRequest: []time.Duration{200 * time.Microsecond, 200 * time.Microsecond, 200 * time.Microsecond, 200 * time.Microsecond},
+	}
+	s, err := Advise(m, singular, load, spec(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Advise(m, dist, load, spec(), 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same dense-driven main replica count...
+	if d.MainReplicas != s.MainReplicas {
+		t.Errorf("main replicas %d vs %d", d.MainReplicas, s.MainReplicas)
+	}
+	// ...but sparse shards replicate on their own (tiny) load.
+	for i, n := range d.SparseReplicas {
+		if n != 1 {
+			t.Errorf("shard %d replicas = %d, want 1 (load is tiny)", i+1, n)
+		}
+	}
+	// The headline: fleet memory is far lower, because main replicas
+	// carry only dense parameters.
+	if d.TotalMemoryBytes >= s.TotalMemoryBytes {
+		t.Errorf("distributed fleet memory %d should be < singular %d", d.TotalMemoryBytes, s.TotalMemoryBytes)
+	}
+	if d.MemoryPerQPS() >= s.MemoryPerQPS() {
+		t.Error("memory per QPS should improve under distribution")
+	}
+	out := Compare(s, d)
+	if !strings.Contains(out, "cuts fleet model memory") {
+		t.Errorf("Compare output missing ratio line:\n%s", out)
+	}
+}
+
+func TestAdviseScalesWithQPS(t *testing.T) {
+	m, singular, _ := testModelAndPlans(t)
+	load := Load{MainCPUPerRequest: 10 * time.Millisecond}
+	lo, err := Advise(m, singular, load, spec(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := Advise(m, singular, load, spec(), 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.MainReplicas != 1 {
+		t.Errorf("low QPS should need 1 replica, got %d", lo.MainReplicas)
+	}
+	if hi.MainReplicas != 25 {
+		t.Errorf("50k QPS at 2k/server should need 25 replicas, got %d", hi.MainReplicas)
+	}
+}
+
+func TestAdviseErrors(t *testing.T) {
+	m, singular, dist := testModelAndPlans(t)
+	load := Load{MainCPUPerRequest: time.Millisecond}
+	if _, err := Advise(m, singular, load, spec(), 0); err == nil {
+		t.Error("zero QPS should fail")
+	}
+	bad := spec()
+	bad.TargetUtilization = 1.5
+	if _, err := Advise(m, singular, load, bad, 100); err == nil {
+		t.Error("bad utilization should fail")
+	}
+	if _, err := Advise(m, dist, load, spec(), 100); err == nil {
+		t.Error("missing sparse loads should fail")
+	}
+	tiny := spec()
+	tiny.MemoryBytes = 1
+	if _, err := Advise(m, singular, load, tiny, 100); err == nil {
+		t.Error("model exceeding server memory should fail for singular")
+	}
+	if _, err := Advise(m, dist, Load{
+		MainCPUPerRequest:   time.Millisecond,
+		SparseCPUPerRequest: make([]time.Duration, dist.NumShards),
+	}, tiny, 100); err == nil {
+		t.Error("shard exceeding server memory should fail")
+	}
+}
+
+func TestReplicaMonotonicityProperty(t *testing.T) {
+	m, singular, _ := testModelAndPlans(t)
+	f := func(q1, q2 float64) bool {
+		q1, q2 = math.Abs(q1), math.Abs(q2)
+		if q1 == 0 || q2 == 0 || math.IsInf(q1, 0) || math.IsInf(q2, 0) || q1 > 1e9 || q2 > 1e9 {
+			return true
+		}
+		if q1 > q2 {
+			q1, q2 = q2, q1
+		}
+		load := Load{MainCPUPerRequest: 5 * time.Millisecond}
+		a1, err1 := Advise(m, singular, load, spec(), q1)
+		a2, err2 := Advise(m, singular, load, spec(), q2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a1.MainReplicas <= a2.MainReplicas && a1.TotalMemoryBytes <= a2.TotalMemoryBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

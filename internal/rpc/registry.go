@@ -1,0 +1,60 @@
+package rpc
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is the in-process stand-in for the paper's "universal service
+// discovery protocol": shards register their serving addresses under
+// stable names ("sparse1", "sparse2", ...) and the main shard's RPC
+// operators resolve names at call-issue time, so replicas can come and go
+// without re-serializing the model.
+type Registry struct {
+	mu    sync.RWMutex
+	addrs map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{addrs: make(map[string]string)}
+}
+
+// Register binds a service name to an address, replacing any previous
+// binding (a restarted shard re-registers).
+func (r *Registry) Register(name, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addrs[name] = addr
+}
+
+// Deregister removes a binding, if present.
+func (r *Registry) Deregister(name string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.addrs, name)
+}
+
+// Lookup resolves a service name.
+func (r *Registry) Lookup(name string) (string, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	addr, ok := r.addrs[name]
+	if !ok {
+		return "", fmt.Errorf("rpc: service %q not registered", name)
+	}
+	return addr, nil
+}
+
+// Services lists registered names in sorted order.
+func (r *Registry) Services() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.addrs))
+	for name := range r.addrs {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}

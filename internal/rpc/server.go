@@ -1,0 +1,227 @@
+package rpc
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// Handler processes one decoded request body and returns a response body.
+// The handler owns application-level serialization so serde time is
+// measured at the layer where it actually occurs.
+type Handler interface {
+	Handle(ctx trace.Context, method string, body []byte) ([]byte, error)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(ctx trace.Context, method string, body []byte) ([]byte, error)
+
+// Handle implements Handler.
+func (f HandlerFunc) Handle(ctx trace.Context, method string, body []byte) ([]byte, error) {
+	return f(ctx, method, body)
+}
+
+// ServerConfig tunes a Server.
+type ServerConfig struct {
+	// Recorder receives LayerRequest/LayerService spans; nil disables
+	// server-side tracing.
+	Recorder *trace.Recorder
+	// ResponseLink injects latency on callee→caller frames.
+	ResponseLink *netsim.Link
+	// BoilerplateCost is busy-work per request modeling the full Thrift
+	// service stack cost each shard pays ("each shard invokes a full
+	// Thrift service", Section VI-C1). It burns CPU, not just wall time.
+	BoilerplateCost time.Duration
+	// ComputeScale stretches BoilerplateCost (and is the hook the slower
+	// SC-Small platform uses); 0 means 1.0.
+	ComputeScale float64
+}
+
+// Server accepts framed RPC connections and dispatches requests to a
+// Handler, one goroutine per in-flight request (requests on a connection
+// are pipelined).
+type Server struct {
+	cfg     ServerConfig
+	handler Handler
+	lis     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer starts a server listening on addr (e.g. "127.0.0.1:0").
+func NewServer(addr string, h Handler, cfg ServerConfig) (*Server, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc: listen %s: %w", addr, err)
+	}
+	s := &Server{cfg: cfg, handler: h, lis: lis, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's bound address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting, closes all connections, and waits for in-flight
+// handlers to drain.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.lis.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	var writeMu sync.Mutex
+	br := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		payload, err := readFrame(br)
+		if err != nil {
+			return // connection closed or corrupt
+		}
+		s.wg.Add(1)
+		go func(payload []byte) {
+			defer s.wg.Done()
+			s.dispatch(conn, &writeMu, payload)
+		}(payload)
+	}
+}
+
+// dispatch decodes, handles, and answers one request, recording the
+// paper's service-layer spans around the application handler.
+func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, payload []byte) {
+	rec := s.cfg.Recorder
+	var reqStart time.Time
+	if rec != nil {
+		reqStart = rec.Now()
+	}
+	svcStart := time.Now()
+
+	req, err := DecodeRequest(payload)
+	if err != nil {
+		log.Printf("rpc: dropping malformed request: %v", err)
+		return
+	}
+	ctx := trace.Context{TraceID: req.TraceID, CallID: req.CallID}
+
+	// Service boilerplate: context setup plus the modeled Thrift stack
+	// cost. Burned as real CPU so compute accounting sees it.
+	burn(s.scaledBoilerplate())
+	preDur := time.Since(svcStart)
+
+	body, herr := s.handler.Handle(ctx, req.Method, req.Body)
+
+	postStart := time.Now()
+	resp := &Response{CallID: req.CallID, Body: body}
+	if herr != nil {
+		resp.Err = herr.Error()
+		resp.Body = nil
+	}
+	out, err := EncodeResponse(resp)
+	if err != nil {
+		log.Printf("rpc: encode response: %v", err)
+		return
+	}
+	postDur := time.Since(postStart)
+
+	if rec != nil {
+		rec.Record(trace.Span{
+			TraceID: req.TraceID, CallID: req.CallID,
+			Layer: trace.LayerService, Name: req.Method,
+			Start: reqStart, Dur: preDur + postDur,
+		})
+		// The shard-side E2E span ends when the response is handed to the
+		// network; transit time back to the caller is, by construction,
+		// part of the caller-observed outstanding time and falls out as
+		// network latency in the analyzer's subtraction.
+		rec.Record(trace.Span{
+			TraceID: req.TraceID, CallID: req.CallID,
+			Layer: trace.LayerRequest, Name: req.Method,
+			Start: reqStart, Dur: rec.Now().Sub(reqStart),
+		})
+	}
+
+	write := func() {
+		writeMu.Lock()
+		err := writeFrame(conn, out)
+		writeMu.Unlock()
+		if err != nil {
+			log.Printf("rpc: write response: %v", err)
+		}
+	}
+	if s.cfg.ResponseLink == nil {
+		write()
+		return
+	}
+	netsim.AfterFunc(s.cfg.ResponseLink.Delay(len(out)), write)
+}
+
+func (s *Server) scaledBoilerplate() time.Duration {
+	d := s.cfg.BoilerplateCost
+	if s.cfg.ComputeScale > 0 {
+		d = time.Duration(float64(d) * s.cfg.ComputeScale)
+	}
+	return d
+}
+
+// burn spins for roughly d, consuming CPU — unlike time.Sleep, this models
+// boilerplate that costs compute, which is the paper's point about RPC
+// service overhead being a resource cost and not just latency.
+func burn(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// ErrServerClosed reports use of a closed server (exported for tests).
+var ErrServerClosed = errors.New("rpc: server closed")

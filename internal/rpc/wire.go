@@ -1,0 +1,162 @@
+// Package rpc is the Thrift-like remote procedure call framework the
+// distributed inference runtime is built on: a length-framed binary
+// protocol over TCP, a multiplexing client with synchronous and
+// asynchronous calls, a concurrent server, and an in-process service
+// registry standing in for the paper's "universal service discovery
+// protocol" (Section III-C).
+//
+// Trace metadata (trace id, call id) rides in every request header, the
+// analogue of propagating Thrift's RequestContext for distributed tracing
+// (Section IV-A).
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Frame and message size limits. Requests carry embedding indices and
+// responses carry pooled vectors; both are bounded in practice, and the
+// cap turns a corrupted length prefix into an error instead of an OOM.
+const (
+	// MaxFrameSize bounds one framed message.
+	MaxFrameSize = 64 << 20
+	frameHeader  = 4
+)
+
+// Message type tags.
+const (
+	msgRequest  byte = 0
+	msgResponse byte = 1
+)
+
+// Request is one RPC invocation: the method selects the handler routine,
+// the trace/call ids propagate tracing context, and Body is an opaque
+// payload serialized by the application layer (so serde cost is measured
+// where it occurs).
+type Request struct {
+	Method  string
+	TraceID uint64
+	CallID  uint64
+	Body    []byte
+}
+
+// Response answers one Request, matched by CallID. A non-empty Err carries
+// a remote failure.
+type Response struct {
+	CallID uint64
+	Err    string
+	Body   []byte
+}
+
+// ErrFrameTooLarge reports a frame exceeding MaxFrameSize.
+var ErrFrameTooLarge = errors.New("rpc: frame exceeds maximum size")
+
+// writeFrame writes a 4-byte big-endian length prefix followed by
+// payload as a single Write: syscalls dominate small-message cost on
+// sandboxed kernels, so the header is never written separately.
+func writeFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, frameHeader+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[frameHeader:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame reads one length-prefixed payload from a buffered reader.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeRequest serializes a request into a frame payload.
+func EncodeRequest(req *Request) ([]byte, error) {
+	if len(req.Method) > 0xffff {
+		return nil, fmt.Errorf("rpc: method name too long (%d bytes)", len(req.Method))
+	}
+	n := 1 + 8 + 8 + 2 + len(req.Method) + 4 + len(req.Body)
+	buf := make([]byte, n)
+	buf[0] = msgRequest
+	binary.LittleEndian.PutUint64(buf[1:], req.TraceID)
+	binary.LittleEndian.PutUint64(buf[9:], req.CallID)
+	binary.LittleEndian.PutUint16(buf[17:], uint16(len(req.Method)))
+	off := 19 + copy(buf[19:], req.Method)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(req.Body)))
+	copy(buf[off+4:], req.Body)
+	return buf, nil
+}
+
+// DecodeRequest parses a frame payload into a Request.
+func DecodeRequest(buf []byte) (*Request, error) {
+	if len(buf) < 23 || buf[0] != msgRequest {
+		return nil, fmt.Errorf("rpc: malformed request frame (%d bytes)", len(buf))
+	}
+	req := &Request{
+		TraceID: binary.LittleEndian.Uint64(buf[1:]),
+		CallID:  binary.LittleEndian.Uint64(buf[9:]),
+	}
+	mlen := int(binary.LittleEndian.Uint16(buf[17:]))
+	if len(buf) < 19+mlen+4 {
+		return nil, errors.New("rpc: truncated request method")
+	}
+	req.Method = string(buf[19 : 19+mlen])
+	off := 19 + mlen
+	blen := int(binary.LittleEndian.Uint32(buf[off:]))
+	if len(buf) != off+4+blen {
+		return nil, errors.New("rpc: truncated request body")
+	}
+	req.Body = buf[off+4 : off+4+blen]
+	return req, nil
+}
+
+// EncodeResponse serializes a response into a frame payload.
+func EncodeResponse(resp *Response) ([]byte, error) {
+	if len(resp.Err) > 0xffff {
+		return nil, fmt.Errorf("rpc: error message too long (%d bytes)", len(resp.Err))
+	}
+	n := 1 + 8 + 2 + len(resp.Err) + 4 + len(resp.Body)
+	buf := make([]byte, n)
+	buf[0] = msgResponse
+	binary.LittleEndian.PutUint64(buf[1:], resp.CallID)
+	binary.LittleEndian.PutUint16(buf[9:], uint16(len(resp.Err)))
+	off := 11 + copy(buf[11:], resp.Err)
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(resp.Body)))
+	copy(buf[off+4:], resp.Body)
+	return buf, nil
+}
+
+// DecodeResponse parses a frame payload into a Response.
+func DecodeResponse(buf []byte) (*Response, error) {
+	if len(buf) < 15 || buf[0] != msgResponse {
+		return nil, fmt.Errorf("rpc: malformed response frame (%d bytes)", len(buf))
+	}
+	resp := &Response{CallID: binary.LittleEndian.Uint64(buf[1:])}
+	elen := int(binary.LittleEndian.Uint16(buf[9:]))
+	if len(buf) < 11+elen+4 {
+		return nil, errors.New("rpc: truncated response error")
+	}
+	resp.Err = string(buf[11 : 11+elen])
+	off := 11 + elen
+	blen := int(binary.LittleEndian.Uint32(buf[off:]))
+	if len(buf) != off+4+blen {
+		return nil, errors.New("rpc: truncated response body")
+	}
+	resp.Body = buf[off+4 : off+4+blen]
+	return resp, nil
+}

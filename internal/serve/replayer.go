@@ -1,0 +1,119 @@
+// Package serve implements the request replayer and measurement harness:
+// the analogue of the paper's "production replayer [that] pre-processed
+// and cached the requests before sending them to the inference servers"
+// (Section V-B). Two modes match the paper's two regimes: serial blocking
+// requests (Section VI, isolating per-request overheads) and open-loop
+// arrivals at a target QPS (Section VII-A, the data-center regime).
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Replayer drives pre-generated requests at a main shard.
+type Replayer struct {
+	client *rpc.Client
+	ids    trace.IDAllocator
+}
+
+// NewReplayer wraps a connected client to the main shard.
+func NewReplayer(client *rpc.Client) *Replayer {
+	return &Replayer{client: client}
+}
+
+// Result summarizes one replay run from the client's vantage point.
+// Component-level attributions come from the trace collector, not from
+// here; client-observed E2E is kept for sanity checks.
+type Result struct {
+	Sent      int
+	Errors    []error
+	ClientE2E []time.Duration
+}
+
+// Failed returns the number of failed requests.
+func (r *Result) Failed() int { return len(r.Errors) }
+
+// send issues one request and waits for its response.
+func (rp *Replayer) send(req *workload.Request) (time.Duration, error) {
+	body := core.EncodeRankingRequest(core.FromWorkload(req))
+	start := time.Now()
+	resp, err := rp.client.CallSync(&rpc.Request{
+		Method:  "rank",
+		TraceID: rp.ids.NewTraceID(),
+		CallID:  req.ID,
+		Body:    body,
+	})
+	elapsed := time.Since(start)
+	if err != nil {
+		return elapsed, err
+	}
+	rr, err := core.DecodeRankingResponse(resp.Body)
+	if err != nil {
+		return elapsed, err
+	}
+	if len(rr.Scores) != req.Items {
+		return elapsed, fmt.Errorf("serve: request %d returned %d scores for %d items", req.ID, len(rr.Scores), req.Items)
+	}
+	return elapsed, nil
+}
+
+// RunSerial replays requests one at a time, blocking on each response —
+// the paper's per-request overhead methodology ("requests were sent
+// serially, to isolate inherent overheads").
+func (rp *Replayer) RunSerial(reqs []*workload.Request) *Result {
+	res := &Result{}
+	for _, req := range reqs {
+		d, err := rp.send(req)
+		res.Sent++
+		if err != nil {
+			res.Errors = append(res.Errors, err)
+			continue
+		}
+		res.ClientE2E = append(res.ClientE2E, d)
+	}
+	return res
+}
+
+// RunOpenLoop replays requests with uniform inter-arrival spacing at the
+// target QPS regardless of response completion (an open-loop load model,
+// as a production replayer sending live traffic behaves). It waits for
+// all responses before returning.
+func (rp *Replayer) RunOpenLoop(reqs []*workload.Request, qps float64) *Result {
+	if qps <= 0 {
+		return rp.RunSerial(reqs)
+	}
+	interval := time.Duration(float64(time.Second) / qps)
+	res := &Result{}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, req := range reqs {
+		// Pace against the absolute schedule so response stalls do not
+		// slow the arrival process.
+		if wait := time.Duration(i)*interval - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(req *workload.Request) {
+			defer wg.Done()
+			d, err := rp.send(req)
+			mu.Lock()
+			defer mu.Unlock()
+			res.Sent++
+			if err != nil {
+				res.Errors = append(res.Errors, err)
+				return
+			}
+			res.ClientE2E = append(res.ClientE2E, d)
+		}(req)
+	}
+	wg.Wait()
+	return res
+}

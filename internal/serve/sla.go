@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// SLA captures a serving tier's latency agreement (Section II: "In order
+// to provide a satisfactory user experience, recommendation results are
+// expected within a timed window... If SLA targets cannot be satisfied,
+// the inference request is dropped in favor of a potentially lower
+// quality recommendation result").
+type SLA struct {
+	// Budget is the per-request latency bound.
+	Budget time.Duration
+	// TargetQuantile is the fraction of requests that must meet Budget
+	// (e.g. 0.99 for a P99 SLA).
+	TargetQuantile float64
+}
+
+// Report evaluates a replay result against an SLA.
+type Report struct {
+	SLA        SLA
+	Total      int
+	Violations int
+	// AchievedQuantileLatency is the latency at the SLA's target quantile.
+	AchievedQuantileLatency time.Duration
+	// Met reports whether the target quantile landed within budget.
+	Met bool
+	// FallbackRate is the fraction of user requests that would have
+	// received the degraded fallback recommendation.
+	FallbackRate float64
+}
+
+// Evaluate scores client-observed latencies against the SLA. Failed
+// requests count as violations: a dropped request is a fallback served.
+func (s SLA) Evaluate(res *Result) Report {
+	rep := Report{SLA: s, Total: res.Sent}
+	for _, d := range res.ClientE2E {
+		if d > s.Budget {
+			rep.Violations++
+		}
+	}
+	rep.Violations += res.Failed()
+	sample := stats.NewDurationSample(res.ClientE2E)
+	q := s.TargetQuantile
+	if q <= 0 || q > 1 {
+		q = 0.99
+	}
+	rep.AchievedQuantileLatency = time.Duration(sample.Quantile(q) * float64(time.Second))
+	rep.Met = rep.AchievedQuantileLatency <= s.Budget && res.Failed() == 0
+	if res.Sent > 0 {
+		rep.FallbackRate = float64(rep.Violations) / float64(res.Sent)
+	}
+	return rep
+}
+
+// String renders the report in one line.
+func (r Report) String() string {
+	status := "MET"
+	if !r.Met {
+		status = "VIOLATED"
+	}
+	return fmt.Sprintf("SLA %v @ p%.0f: %s (achieved %v, %d/%d fallbacks, %.1f%% fallback rate)",
+		r.SLA.Budget, r.SLA.TargetQuantile*100, status,
+		r.AchievedQuantileLatency.Round(time.Microsecond), r.Violations, r.Total, 100*r.FallbackRate)
+}

@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func resultWithLatencies(ds ...time.Duration) *Result {
+	return &Result{Sent: len(ds), ClientE2E: ds}
+}
+
+func TestSLAEvaluateMet(t *testing.T) {
+	res := resultWithLatencies(
+		1*time.Millisecond, 2*time.Millisecond, 3*time.Millisecond, 4*time.Millisecond,
+	)
+	rep := SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.9}.Evaluate(res)
+	if !rep.Met || rep.Violations != 0 || rep.FallbackRate != 0 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSLAEvaluateViolations(t *testing.T) {
+	res := resultWithLatencies(
+		1*time.Millisecond, 2*time.Millisecond, 9*time.Millisecond, 12*time.Millisecond,
+	)
+	rep := SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.5}.Evaluate(res)
+	if rep.Violations != 2 {
+		t.Errorf("violations = %d, want 2", rep.Violations)
+	}
+	if rep.FallbackRate != 0.5 {
+		t.Errorf("fallback rate = %v", rep.FallbackRate)
+	}
+	// P50 of {1,2,9,12} ≈ 5.5ms > 5ms budget → not met.
+	if rep.Met {
+		t.Error("P50 SLA should be violated")
+	}
+}
+
+func TestSLAFailedRequestsAreFallbacks(t *testing.T) {
+	res := resultWithLatencies(time.Millisecond)
+	res.Sent = 3
+	res.Errors = []error{errors.New("x"), errors.New("y")}
+	rep := SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.9}.Evaluate(res)
+	if rep.Violations != 2 {
+		t.Errorf("violations = %d, want 2 (failures)", rep.Violations)
+	}
+	if rep.Met {
+		t.Error("failures must break the SLA")
+	}
+}
+
+func TestSLADefaultQuantile(t *testing.T) {
+	res := resultWithLatencies(time.Millisecond, 2*time.Millisecond)
+	rep := SLA{Budget: 3 * time.Millisecond}.Evaluate(res) // quantile unset → p99
+	if !rep.Met {
+		t.Errorf("default quantile report: %+v", rep)
+	}
+}
+
+func TestSLAReportString(t *testing.T) {
+	res := resultWithLatencies(10 * time.Millisecond)
+	rep := SLA{Budget: time.Millisecond, TargetQuantile: 0.99}.Evaluate(res)
+	s := rep.String()
+	if !strings.Contains(s, "VIOLATED") || !strings.Contains(s, "fallback") {
+		t.Errorf("report string = %q", s)
+	}
+	res2 := resultWithLatencies(100 * time.Microsecond)
+	if s := (SLA{Budget: time.Millisecond, TargetQuantile: 0.99}).Evaluate(res2).String(); !strings.Contains(s, "MET") {
+		t.Errorf("report string = %q", s)
+	}
+}

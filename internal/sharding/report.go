@@ -1,0 +1,73 @@
+package sharding
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Report renders a Table II-style summary for a set of plans: per shard,
+// the capacity, table count, and estimated pooling factor under each
+// configuration. pooling maps table ID to estimated lookups per request
+// (from workload sampling).
+func Report(cfg *model.Config, plans []*Plan, pooling map[int]float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Sharding results for %s (capacity MiB / tables / est. pooling per request)\n", cfg.Name)
+	for _, p := range plans {
+		if !p.IsDistributed() {
+			fmt.Fprintf(&b, "%-22s entire model on one server\n", p.Name())
+			continue
+		}
+		fmt.Fprintf(&b, "%-22s", p.Name())
+		for i := range p.Shards {
+			a := &p.Shards[i]
+			mib := float64(ShardCapacityBytes(cfg, a)) / (1 << 20)
+			fmt.Fprintf(&b, " [%d]: %.2f/%d/%.1f", a.Shard, mib, ShardTableCount(a), ShardPooling(a, pooling))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// BalanceStats summarizes a plan's spread: max/min ratios of capacity and
+// pooling across shards, the quantities Section V-A quotes ("per-shard
+// capacities varied up to 50%", "per-shard estimated load varied up to
+// 371%").
+type BalanceStats struct {
+	CapacitySpread float64 // max/min shard capacity
+	PoolingSpread  float64 // max/min shard pooling
+}
+
+// Balance computes spread statistics for a distributed plan.
+func Balance(cfg *model.Config, p *Plan, pooling map[int]float64) BalanceStats {
+	var st BalanceStats
+	if !p.IsDistributed() {
+		return st
+	}
+	minC, maxC := int64(1)<<62, int64(0)
+	minP, maxP := 1e18, 0.0
+	for i := range p.Shards {
+		c := ShardCapacityBytes(cfg, &p.Shards[i])
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+		pl := ShardPooling(&p.Shards[i], pooling)
+		if pl < minP {
+			minP = pl
+		}
+		if pl > maxP {
+			maxP = pl
+		}
+	}
+	if minC > 0 {
+		st.CapacitySpread = float64(maxC) / float64(minC)
+	}
+	if minP > 0 {
+		st.PoolingSpread = maxP / minP
+	}
+	return st
+}

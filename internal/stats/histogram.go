@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram is a fixed-bucket histogram over float64 observations. It is
+// used to render the embedding-table size distribution of Fig. 5 and to
+// sanity-check workload generators.
+type Histogram struct {
+	// Edges holds len(Counts)+1 monotonically increasing bucket edges.
+	Edges []float64
+	// Counts holds the number of observations per bucket. Observations
+	// below Edges[0] land in bucket 0; observations at or above the last
+	// edge land in the final bucket.
+	Counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram with n equal-width buckets spanning
+// [lo, hi]. It panics if n < 1 or hi <= lo, which are programmer errors.
+func NewHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		panic(fmt.Sprintf("stats: histogram bucket count %d < 1", n))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: histogram range [%g, %g) is empty", lo, hi))
+	}
+	edges := make([]float64, n+1)
+	w := (hi - lo) / float64(n)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	return &Histogram{Edges: edges, Counts: make([]int, n)}
+}
+
+// NewLogHistogram builds a histogram with n buckets whose edges are
+// logarithmically spaced across [lo, hi]. Both bounds must be positive.
+// Log spacing matches how the paper presents table-size distributions,
+// which span four orders of magnitude.
+func NewLogHistogram(lo, hi float64, n int) *Histogram {
+	if n < 1 {
+		panic(fmt.Sprintf("stats: histogram bucket count %d < 1", n))
+	}
+	if lo <= 0 || hi <= lo {
+		panic(fmt.Sprintf("stats: log histogram range [%g, %g) invalid", lo, hi))
+	}
+	edges := make([]float64, n+1)
+	llo, lhi := math.Log(lo), math.Log(hi)
+	for i := range edges {
+		f := float64(i) / float64(n)
+		edges[i] = math.Exp(llo + f*(lhi-llo))
+	}
+	return &Histogram{Edges: edges, Counts: make([]int, n)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	// Buckets are half-open [edge[i], edge[i+1]); find the first edge
+	// strictly greater than x, then step back into bucket space.
+	idx := sort.Search(len(h.Edges), func(i int) bool { return h.Edges[i] > x })
+	if idx > 0 {
+		idx--
+	}
+	if idx >= len(h.Counts) {
+		idx = len(h.Counts) - 1
+	}
+	h.Counts[idx]++
+	h.total++
+}
+
+// AddAll records every observation in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Render draws an ASCII bar chart with the given maximum bar width.
+// Empty histograms render a single explanatory line.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	if h.total == 0 {
+		return "(no observations)\n"
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.Counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&b, "[%10.3g, %10.3g) %6d %s\n",
+			h.Edges[i], h.Edges[i+1], c, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

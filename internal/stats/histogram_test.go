@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.AddAll([]float64{0, 1, 2.5, 5, 9.999})
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+	want := []int{2, 1, 1, 0, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestHistogramOutOfRangeClamps(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	h.Add(-5)
+	h.Add(100)
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("out-of-range values should clamp to end buckets: %v", h.Counts)
+	}
+}
+
+func TestHistogramBoundaryValues(t *testing.T) {
+	h := NewHistogram(0, 3, 3)
+	h.Add(1) // exactly on the edge between bucket 0 and 1 → bucket 1
+	if h.Counts[1] != 1 {
+		t.Errorf("edge value should land in upper bucket: %v", h.Counts)
+	}
+	h.Add(3) // exactly the top edge → last bucket
+	if h.Counts[2] != 1 {
+		t.Errorf("top edge should land in last bucket: %v", h.Counts)
+	}
+}
+
+func TestLogHistogramEdges(t *testing.T) {
+	h := NewLogHistogram(1, 1000, 3)
+	// Edges should be 1, 10, 100, 1000.
+	want := []float64{1, 10, 100, 1000}
+	for i, e := range h.Edges {
+		if math.Abs(e-want[i])/want[i] > 1e-9 {
+			t.Errorf("edge %d = %v, want %v", i, e, want[i])
+		}
+	}
+	h.Add(5)
+	h.Add(50)
+	h.Add(500)
+	for i, c := range h.Counts {
+		if c != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, c)
+		}
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	cases := []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+		func() { NewLogHistogram(0, 10, 3) },
+		func() { NewLogHistogram(10, 1, 3) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramTotalConservedProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		h := NewHistogram(-100, 100, 17)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		sum := 0
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == n && h.Total() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(0, 10, 2)
+	if !strings.Contains(h.Render(40), "no observations") {
+		t.Error("empty render should note no observations")
+	}
+	h.AddAll([]float64{1, 1, 8})
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Errorf("render should contain bars:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("render should have 2 lines, got %d", lines)
+	}
+}

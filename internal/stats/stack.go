@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stack is a named breakdown of a total into labeled components, the unit
+// of the paper's "latency stack" and "CPU time stack" figures (Figs. 8, 9,
+// 11b, 13, 14). Component order is preserved as inserted so that rendered
+// stacks match the paper's legend order.
+type Stack struct {
+	Label      string
+	components []string
+	values     map[string]float64
+}
+
+// NewStack returns an empty stack with the given label (typically a
+// sharding configuration name such as "load-bal 4 shards").
+func NewStack(label string) *Stack {
+	return &Stack{Label: label, values: make(map[string]float64)}
+}
+
+// Set assigns a component value, inserting the component at the end of the
+// ordering on first use.
+func (s *Stack) Set(component string, v float64) {
+	if _, ok := s.values[component]; !ok {
+		s.components = append(s.components, component)
+	}
+	s.values[component] = v
+}
+
+// Add accumulates into a component, inserting it on first use.
+func (s *Stack) Add(component string, v float64) {
+	if _, ok := s.values[component]; !ok {
+		s.components = append(s.components, component)
+	}
+	s.values[component] += v
+}
+
+// Get returns the component value (0 if absent).
+func (s *Stack) Get(component string) float64 { return s.values[component] }
+
+// Components returns the component names in insertion order.
+func (s *Stack) Components() []string {
+	out := make([]string, len(s.components))
+	copy(out, s.components)
+	return out
+}
+
+// Total returns the sum of all components.
+func (s *Stack) Total() float64 {
+	var t float64
+	for _, v := range s.values {
+		t += v
+	}
+	return t
+}
+
+// StackGroup is an ordered set of stacks normalized and rendered together,
+// mirroring one subfigure (e.g. Fig. 8a has one stack per sharding config).
+type StackGroup struct {
+	Title  string
+	Stacks []*Stack
+}
+
+// NewStackGroup returns an empty group with a title.
+func NewStackGroup(title string) *StackGroup { return &StackGroup{Title: title} }
+
+// Append adds a stack to the group.
+func (g *StackGroup) Append(s *Stack) { g.Stacks = append(g.Stacks, s) }
+
+// MaxTotal returns the largest stack total, the normalization denominator
+// used by all of the paper's stack figures ("normalized to the highest
+// latency configuration").
+func (g *StackGroup) MaxTotal() float64 {
+	var m float64
+	for _, s := range g.Stacks {
+		if t := s.Total(); t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// allComponents returns the union of component names across stacks, in
+// first-seen order.
+func (g *StackGroup) allComponents() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range g.Stacks {
+		for _, c := range s.components {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Render produces an ASCII table: one row per stack, one column per
+// component, all values normalized to the group's max total. This is the
+// textual analogue of the paper's normalized stacked-bar figures.
+func (g *StackGroup) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", g.Title)
+	comps := g.allComponents()
+	max := g.MaxTotal()
+	if max == 0 {
+		max = 1
+	}
+	// Header.
+	fmt.Fprintf(&b, "%-26s", "config")
+	for _, c := range comps {
+		fmt.Fprintf(&b, " %14s", truncate(c, 14))
+	}
+	fmt.Fprintf(&b, " %10s\n", "total")
+	for _, s := range g.Stacks {
+		fmt.Fprintf(&b, "%-26s", truncate(s.Label, 26))
+		for _, c := range comps {
+			fmt.Fprintf(&b, " %14.4f", s.Get(c)/max)
+		}
+		fmt.Fprintf(&b, " %10.4f\n", s.Total()/max)
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+// Series is a labeled (x, y) sequence used for line-style figures
+// (Fig. 1's growth curves).
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// RenderSeries renders aligned series as a table with one row per x value.
+// All series must share x values; extra points are rendered per series.
+func RenderSeries(title string, series ...Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	// Union of x values across series.
+	xset := make(map[float64]bool)
+	for _, s := range series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	fmt.Fprintf(&b, "%10s", "x")
+	for _, s := range series {
+		fmt.Fprintf(&b, " %16s", truncate(s.Label, 16))
+	}
+	b.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&b, "%10.4g", x)
+		for _, s := range series {
+			if y, ok := lookupXY(s, x); ok {
+				fmt.Fprintf(&b, " %16.6g", y)
+			} else {
+				fmt.Fprintf(&b, " %16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func lookupXY(s Series, x float64) (float64, bool) {
+	for i, sx := range s.X {
+		if sx == x && i < len(s.Y) {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}

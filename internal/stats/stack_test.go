@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStackSetAddGet(t *testing.T) {
+	s := NewStack("cfg")
+	s.Set("a", 1)
+	s.Add("a", 2)
+	s.Add("b", 5)
+	if s.Get("a") != 3 || s.Get("b") != 5 || s.Get("missing") != 0 {
+		t.Errorf("stack values wrong: a=%v b=%v", s.Get("a"), s.Get("b"))
+	}
+	if s.Total() != 8 {
+		t.Errorf("Total = %v, want 8", s.Total())
+	}
+}
+
+func TestStackComponentOrderPreserved(t *testing.T) {
+	s := NewStack("cfg")
+	s.Add("z", 1)
+	s.Add("a", 1)
+	s.Add("m", 1)
+	s.Set("z", 2) // re-set must not reorder
+	got := s.Components()
+	want := []string{"z", "a", "m"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("component order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestStackGroupNormalization(t *testing.T) {
+	g := NewStackGroup("test")
+	s1 := NewStack("one")
+	s1.Set("x", 2)
+	s2 := NewStack("two")
+	s2.Set("x", 4)
+	g.Append(s1)
+	g.Append(s2)
+	if g.MaxTotal() != 4 {
+		t.Fatalf("MaxTotal = %v, want 4", g.MaxTotal())
+	}
+	out := g.Render()
+	if !strings.Contains(out, "0.5000") || !strings.Contains(out, "1.0000") {
+		t.Errorf("render should show normalized 0.5 and 1.0:\n%s", out)
+	}
+}
+
+func TestStackGroupEmptyRender(t *testing.T) {
+	g := NewStackGroup("empty")
+	out := g.Render()
+	if !strings.Contains(out, "empty") {
+		t.Errorf("render should contain title:\n%s", out)
+	}
+}
+
+func TestStackGroupComponentUnion(t *testing.T) {
+	g := NewStackGroup("u")
+	s1 := NewStack("one")
+	s1.Set("a", 1)
+	s2 := NewStack("two")
+	s2.Set("b", 1)
+	g.Append(s1)
+	g.Append(s2)
+	comps := g.allComponents()
+	if len(comps) != 2 || comps[0] != "a" || comps[1] != "b" {
+		t.Errorf("component union = %v", comps)
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	out := RenderSeries("growth",
+		Series{Label: "features", X: []float64{2017, 2018}, Y: []float64{1, 3}},
+		Series{Label: "embeddings", X: []float64{2017, 2019}, Y: []float64{1, 10}},
+	)
+	if !strings.Contains(out, "growth") || !strings.Contains(out, "2018") {
+		t.Errorf("series render missing content:\n%s", out)
+	}
+	// 2018 has no embeddings point → "-" placeholder.
+	if !strings.Contains(out, "-") {
+		t.Errorf("missing placeholder for absent point:\n%s", out)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 10); got != "short" {
+		t.Errorf("truncate short = %q", got)
+	}
+	if got := truncate("averylongstring", 8); len(got) > 10 { // ellipsis is multibyte
+		t.Errorf("truncate long = %q", got)
+	}
+}

@@ -1,0 +1,293 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAccessors(t *testing.T) {
+	m := New(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("New(2,3) wrong shape: %+v", m)
+	}
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Errorf("At(1,2) = %v, want 7", m.At(1, 2))
+	}
+	if m.Bytes() != 24 {
+		t.Errorf("Bytes = %d, want 24", m.Bytes())
+	}
+	if m.String() != "Matrix(2x3)" {
+		t.Errorf("String = %q", m.String())
+	}
+}
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(-1, 3)
+}
+
+func TestFromSlice(t *testing.T) {
+	m := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	if m.At(1, 0) != 3 {
+		t.Errorf("At(1,0) = %v, want 3", m.At(1, 0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on bad length")
+		}
+	}()
+	FromSlice(2, 2, []float32{1})
+}
+
+func TestRowIsView(t *testing.T) {
+	m := New(2, 2)
+	m.Row(1)[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Error("Row should be a mutable view")
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := FromSlice(1, 2, []float32{1, 2})
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone should not share storage")
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	a := FromSlice(2, 3, []float32{1, 2, 3, 4, 5, 6})
+	b := FromSlice(3, 2, []float32{7, 8, 9, 10, 11, 12})
+	dst := New(2, 2)
+	MatMul(dst, a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if dst.Data[i] != w {
+			t.Errorf("dst[%d] = %v, want %v", i, dst.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := New(4, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32()
+	}
+	id := New(4, 4)
+	for i := 0; i < 4; i++ {
+		id.Set(i, i, 1)
+	}
+	dst := New(4, 4)
+	MatMul(dst, a, id)
+	for i := range a.Data {
+		if dst.Data[i] != a.Data[i] {
+			t.Fatalf("A·I != A at %d: %v vs %v", i, dst.Data[i], a.Data[i])
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected shape panic")
+		}
+	}()
+	MatMul(New(2, 2), New(2, 3), New(2, 2))
+}
+
+// naiveMatMul is the reference implementation for the property test.
+func naiveMatMul(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var acc float32
+			for p := 0; p < a.Cols; p++ {
+				acc += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(i, j, acc)
+		}
+	}
+	return out
+}
+
+func TestMatMulMatchesNaiveProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(8)
+		a, b := New(m, k), New(k, n)
+		for i := range a.Data {
+			a.Data[i] = rng.Float32()*2 - 1
+		}
+		for i := range b.Data {
+			b.Data[i] = rng.Float32()*2 - 1
+		}
+		got := New(m, n)
+		MatMul(got, a, b)
+		want := naiveMatMul(a, b)
+		for i := range got.Data {
+			if diff := math.Abs(float64(got.Data[i] - want.Data[i])); diff > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddBiasRows(t *testing.T) {
+	m := FromSlice(2, 2, []float32{1, 2, 3, 4})
+	AddBiasRows(m, []float32{10, 20})
+	want := []float32{11, 22, 13, 24}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Errorf("data[%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+}
+
+func TestAddBiasPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AddBiasRows(New(1, 2), []float32{1})
+}
+
+func TestReLU(t *testing.T) {
+	m := FromSlice(1, 4, []float32{-1, 0, 0.5, 2})
+	ReLU(m)
+	want := []float32{0, 0, 0.5, 2}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Errorf("data[%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	m := FromSlice(1, 3, []float32{0, 100, -100})
+	Sigmoid(m)
+	if m.Data[0] != 0.5 {
+		t.Errorf("sigmoid(0) = %v, want 0.5", m.Data[0])
+	}
+	if m.Data[1] != 1 || m.Data[2] != 0 {
+		t.Errorf("sigmoid should clamp extremes: %v", m.Data)
+	}
+}
+
+func TestSigmoidMonotoneProperty(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return sigmoid32(a) <= sigmoid32(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := FromSlice(2, 1, []float32{1, 2})
+	b := FromSlice(2, 2, []float32{3, 4, 5, 6})
+	out := Concat(a, b)
+	if out.Rows != 2 || out.Cols != 3 {
+		t.Fatalf("Concat shape = %dx%d", out.Rows, out.Cols)
+	}
+	want := []float32{1, 3, 4, 2, 5, 6}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("data[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestConcatEmpty(t *testing.T) {
+	out := Concat()
+	if out.Rows != 0 || out.Cols != 0 {
+		t.Errorf("Concat() = %v", out)
+	}
+}
+
+func TestConcatPanicsOnRowMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Concat(New(1, 1), New(2, 1))
+}
+
+func TestPairwiseDot(t *testing.T) {
+	f1 := FromSlice(1, 2, []float32{1, 2})
+	f2 := FromSlice(1, 2, []float32{3, 4})
+	f3 := FromSlice(1, 2, []float32{5, 6})
+	out := PairwiseDot([]*Matrix{f1, f2, f3})
+	if out.Rows != 1 || out.Cols != 3 {
+		t.Fatalf("shape = %dx%d, want 1x3", out.Rows, out.Cols)
+	}
+	want := []float32{11, 17, 39} // f1·f2, f1·f3, f2·f3
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Errorf("dot[%d] = %v, want %v", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestPairwiseDotEmpty(t *testing.T) {
+	out := PairwiseDot(nil)
+	if out.Rows != 0 {
+		t.Error("empty input should produce empty output")
+	}
+}
+
+func TestScaleClip(t *testing.T) {
+	m := FromSlice(1, 3, []float32{-2, 1, 5})
+	Scale(m, 2)
+	Clip(m, -1, 8)
+	want := []float32{-1, 2, 8}
+	for i, w := range want {
+		if m.Data[i] != w {
+			t.Errorf("data[%d] = %v, want %v", i, m.Data[i], w)
+		}
+	}
+}
+
+func TestAXPYSumDot(t *testing.T) {
+	dst := []float32{1, 1}
+	AXPY(dst, 2, []float32{3, 4})
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Errorf("AXPY = %v", dst)
+	}
+	Sum(dst, []float32{1, 1})
+	if dst[0] != 8 || dst[1] != 10 {
+		t.Errorf("Sum = %v", dst)
+	}
+	if d := Dot([]float32{1, 2}, []float32{3, 4}); d != 11 {
+		t.Errorf("Dot = %v, want 11", d)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if MaxAbs(nil) != 0 {
+		t.Error("MaxAbs(nil) should be 0")
+	}
+	if MaxAbs([]float32{-5, 3}) != 5 {
+		t.Error("MaxAbs should use absolute value")
+	}
+}

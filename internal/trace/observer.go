@@ -1,0 +1,53 @@
+package trace
+
+import (
+	"time"
+
+	"repro/internal/nn"
+)
+
+// NetObserver adapts a Recorder to the nn.Observer interface, recording
+// one LayerOp span per operator and one LayerNetOverhead span per net run
+// (the residual between net wall time and the sum of operator times).
+//
+// A NetObserver is bound to one in-flight request: it stamps every span
+// with the request's trace context. Create one per request execution.
+type NetObserver struct {
+	R *Recorder
+	// Ctx is the request's trace context; CallID is non-zero on sparse
+	// shards handling a remote call.
+	Ctx Context
+}
+
+var _ nn.Observer = (*NetObserver)(nil)
+
+// OpExecuted implements nn.Observer.
+func (o *NetObserver) OpExecuted(netName string, op nn.Op, start time.Time, dur time.Duration) {
+	o.R.Record(Span{
+		TraceID: o.Ctx.TraceID,
+		CallID:  o.Ctx.CallID,
+		Layer:   LayerOp,
+		Kind:    op.Kind().String(),
+		Net:     netName,
+		Name:    op.Name(),
+		Start:   start.Add(o.R.skew),
+		Dur:     dur,
+	})
+}
+
+// NetFinished implements nn.Observer.
+func (o *NetObserver) NetFinished(netName string, start time.Time, total, opTime time.Duration) {
+	overhead := total - opTime
+	if overhead < 0 {
+		overhead = 0
+	}
+	o.R.Record(Span{
+		TraceID: o.Ctx.TraceID,
+		CallID:  o.Ctx.CallID,
+		Layer:   LayerNetOverhead,
+		Net:     netName,
+		Name:    "net-overhead",
+		Start:   start.Add(o.R.skew),
+		Dur:     overhead,
+	})
+}

@@ -1,0 +1,189 @@
+// Package workload generates synthetic ranking requests standing in for
+// the paper's "database of de-identified requests ... sampled evenly
+// across a five-day time period" (Section V-B).
+//
+// A ranking request carries R candidate items; for each item, every sparse
+// feature contributes a bag of raw IDs whose size is drawn from that
+// table's pooling-factor distribution, and every net gets a dense feature
+// vector per item. Request sizes are lognormal so the tail requests that
+// dominate P99 (Section VI-B4: "very large inference request sizes") are
+// present. Per-request features (DRM3's dominating user table) contribute
+// one shared ID replicated across items. All draws are seeded, so a given
+// (model, seed) pair replays the identical request stream — the analogue
+// of replaying a fixed production trace.
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/embedding"
+	"repro/internal/model"
+	"repro/internal/tensor"
+)
+
+// Request is one ranking request.
+type Request struct {
+	// ID is the request's sequence number (also used as trace id).
+	ID uint64
+	// Items is the number of candidate items to rank.
+	Items int
+	// Dense maps net name to an Items×DenseDim feature matrix.
+	Dense map[string]*tensor.Matrix
+	// Bags maps table ID to per-item bags of *raw* sparse feature IDs
+	// (hashing into table buckets happens inside the model, Fig. 4's
+	// "Hash" operators).
+	Bags map[int][]embedding.Bag
+	// ArrivalOffset is the request's offset within the replay timeline,
+	// used by the open-loop QPS replayer.
+	ArrivalOffset float64
+}
+
+// TotalLookups counts embedding lookups across all tables — the
+// request's pooling work.
+func (r *Request) TotalLookups() int {
+	n := 0
+	for _, bags := range r.Bags {
+		n += embedding.TotalLookups(bags)
+	}
+	return n
+}
+
+// Generator produces a deterministic request stream for a model config.
+type Generator struct {
+	cfg model.Config
+	rng *rand.Rand
+	seq uint64
+	// diurnal enables sinusoidal request-size modulation across the
+	// stream, a light-weight stand-in for the five-day diurnal sampling.
+	diurnal bool
+}
+
+// NewGenerator returns a generator seeded independently of the model's
+// parameter seed so workload and parameters are uncorrelated.
+func NewGenerator(cfg model.Config, seed int64) *Generator {
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// EnableDiurnal turns on request-size modulation over the stream.
+func (g *Generator) EnableDiurnal() { g.diurnal = true }
+
+// Next generates the next request.
+func (g *Generator) Next() *Request {
+	g.seq++
+	req := &Request{
+		ID:    g.seq,
+		Dense: make(map[string]*tensor.Matrix, len(g.cfg.Nets)),
+		Bags:  make(map[int][]embedding.Bag, len(g.cfg.Tables)),
+	}
+	req.Items = g.drawItems()
+
+	for _, ns := range g.cfg.Nets {
+		m := tensor.New(req.Items, ns.DenseDim)
+		for i := range m.Data {
+			m.Data[i] = g.rng.Float32()*2 - 1
+		}
+		req.Dense[ns.Name] = m
+	}
+	for _, ts := range g.cfg.Tables {
+		req.Bags[ts.ID] = g.drawBags(ts, req.Items)
+	}
+	return req
+}
+
+// drawItems samples the ranking-request size, lognormal around MeanItems
+// with optional diurnal modulation.
+func (g *Generator) drawItems() int {
+	mean := float64(g.cfg.MeanItems)
+	if g.diurnal {
+		// One "day" per 1000 requests; ±30% swing.
+		phase := 2 * math.Pi * float64(g.seq%1000) / 1000
+		mean *= 1 + 0.3*math.Sin(phase)
+	}
+	sigma := g.cfg.ItemsSigma
+	// Lognormal with median = mean (so the tail stretches upward).
+	items := int(math.Round(mean * math.Exp(g.rng.NormFloat64()*sigma)))
+	if items < 1 {
+		items = 1
+	}
+	return items
+}
+
+// drawBags samples one bag of raw sparse IDs per item for table ts.
+func (g *Generator) drawBags(ts model.TableSpec, items int) []embedding.Bag {
+	bags := make([]embedding.Bag, items)
+	if model.IsPerRequestTable(g.cfg.Name, ts.ID) {
+		// Per-request feature: one shared raw ID replicated per item,
+		// exactly one lookup's worth of pooling per item.
+		id := int32(g.rng.Intn(1 << 30))
+		for i := range bags {
+			bags[i].Indices = []int32{id}
+		}
+		return bags
+	}
+	for i := range bags {
+		n := g.poisson(ts.PoolingFactor)
+		if n == 0 {
+			continue
+		}
+		idx := make([]int32, n)
+		for j := range idx {
+			idx[j] = int32(g.rng.Intn(1 << 30))
+		}
+		bags[i].Indices = idx
+	}
+	return bags
+}
+
+// poisson draws from Poisson(mean) — Knuth's method for small means, a
+// normal approximation above 30 where Knuth's loop gets slow.
+func (g *Generator) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		n := int(math.Round(mean + math.Sqrt(mean)*g.rng.NormFloat64()))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// GenerateBatch produces n requests.
+func (g *Generator) GenerateBatch(n int) []*Request {
+	out := make([]*Request, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// EstimatePooling samples n requests and returns the observed mean number
+// of lookups per table *per request* — the paper's pooling-factor
+// estimator ("estimated by sampling 1000 requests from the evaluation
+// dataset and observing the number of lookups per table", Section III-B2).
+// The generator is consumed; use a dedicated instance.
+func EstimatePooling(g *Generator, n int) map[int]float64 {
+	counts := make(map[int]float64)
+	for i := 0; i < n; i++ {
+		req := g.Next()
+		for tid, bags := range req.Bags {
+			counts[tid] += float64(embedding.TotalLookups(bags))
+		}
+	}
+	for tid := range counts {
+		counts[tid] /= float64(n)
+	}
+	return counts
+}

@@ -1,0 +1,176 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestGeneratorDeterminism(t *testing.T) {
+	cfg := model.DRM2()
+	g1 := NewGenerator(cfg, 7)
+	g2 := NewGenerator(cfg, 7)
+	for i := 0; i < 5; i++ {
+		r1, r2 := g1.Next(), g2.Next()
+		if r1.ID != r2.ID || r1.Items != r2.Items {
+			t.Fatalf("request %d differs: %d/%d items %d/%d", i, r1.ID, r2.ID, r1.Items, r2.Items)
+		}
+		if r1.TotalLookups() != r2.TotalLookups() {
+			t.Fatalf("request %d lookup counts differ", i)
+		}
+		for tid := range r1.Bags {
+			b1, b2 := r1.Bags[tid], r2.Bags[tid]
+			for it := range b1 {
+				for k := range b1[it].Indices {
+					if b1[it].Indices[k] != b2[it].Indices[k] {
+						t.Fatalf("table %d item %d idx %d differs", tid, it, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorSeedsDiffer(t *testing.T) {
+	cfg := model.DRM2()
+	r1 := NewGenerator(cfg, 1).Next()
+	r2 := NewGenerator(cfg, 2).Next()
+	if r1.Items == r2.Items && r1.TotalLookups() == r2.TotalLookups() {
+		t.Error("different seeds should produce different requests (vanishingly unlikely collision)")
+	}
+}
+
+func TestRequestShape(t *testing.T) {
+	cfg := model.DRM1()
+	req := NewGenerator(cfg, 3).Next()
+	if req.Items < 1 {
+		t.Fatalf("Items = %d", req.Items)
+	}
+	if len(req.Dense) != 2 {
+		t.Fatalf("DRM1 should have dense inputs for 2 nets, got %d", len(req.Dense))
+	}
+	for _, ns := range cfg.Nets {
+		m := req.Dense[ns.Name]
+		if m == nil || m.Rows != req.Items || m.Cols != ns.DenseDim {
+			t.Errorf("dense input for %s has shape %v", ns.Name, m)
+		}
+	}
+	if len(req.Bags) != len(cfg.Tables) {
+		t.Fatalf("bags for %d tables, want %d", len(req.Bags), len(cfg.Tables))
+	}
+	for tid, bags := range req.Bags {
+		if len(bags) != req.Items {
+			t.Errorf("table %d has %d bags, want %d", tid, len(bags), req.Items)
+		}
+	}
+}
+
+func TestMeanItemsApproximatelyHonored(t *testing.T) {
+	cfg := model.DRM1()
+	g := NewGenerator(cfg, 11)
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Next().Items)
+	}
+	gotMean := sum / n
+	// Lognormal with median=MeanItems has mean e^{σ²/2}·MeanItems ≈ 1.11×.
+	want := float64(cfg.MeanItems)
+	if gotMean < want*0.9 || gotMean > want*1.4 {
+		t.Errorf("mean items = %.2f, want near %v", gotMean, want)
+	}
+}
+
+func TestPoolingMatchesSpec(t *testing.T) {
+	cfg := model.DRM1()
+	g := NewGenerator(cfg, 13)
+	perReq := EstimatePooling(g, 300)
+	// Total per-request lookups ≈ TotalPoolingPerItem × E[items].
+	var total float64
+	for _, v := range perReq {
+		total += v
+	}
+	expected := cfg.TotalPoolingPerItem() * float64(cfg.MeanItems) * 1.11
+	if total < expected*0.7 || total > expected*1.4 {
+		t.Errorf("estimated per-request pooling %.0f, want near %.0f", total, expected)
+	}
+	if len(perReq) != len(cfg.Tables) {
+		t.Errorf("pooling estimates for %d tables, want %d", len(perReq), len(cfg.Tables))
+	}
+}
+
+func TestPerRequestFeatureShared(t *testing.T) {
+	cfg := model.DRM3()
+	g := NewGenerator(cfg, 5)
+	for i := 0; i < 10; i++ {
+		req := g.Next()
+		bags := req.Bags[0] // the dominating per-user table
+		if len(bags) != req.Items {
+			t.Fatalf("bags len %d != items %d", len(bags), req.Items)
+		}
+		first := bags[0].Indices
+		if len(first) != 1 {
+			t.Fatalf("per-request feature should have exactly 1 ID, got %d", len(first))
+		}
+		for _, b := range bags {
+			if len(b.Indices) != 1 || b.Indices[0] != first[0] {
+				t.Fatal("per-request feature must be shared across items")
+			}
+		}
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	g := NewGenerator(model.DRM3(), 17)
+	for _, mean := range []float64{0.3, 2, 8, 50} {
+		var sum, ss float64
+		const n = 5000
+		for i := 0; i < n; i++ {
+			x := float64(g.poisson(mean))
+			sum += x
+			ss += x * x
+		}
+		m := sum / n
+		v := ss/n - m*m
+		if math.Abs(m-mean) > mean*0.15+0.1 {
+			t.Errorf("poisson(%v) mean = %v", mean, m)
+		}
+		if math.Abs(v-mean) > mean*0.3+0.2 {
+			t.Errorf("poisson(%v) variance = %v, want ≈mean", mean, v)
+		}
+	}
+	if g.poisson(0) != 0 || g.poisson(-1) != 0 {
+		t.Error("non-positive mean should yield 0")
+	}
+}
+
+func TestGenerateBatch(t *testing.T) {
+	g := NewGenerator(model.DRM3(), 9)
+	reqs := g.GenerateBatch(5)
+	if len(reqs) != 5 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.ID != uint64(i+1) {
+			t.Errorf("request %d has ID %d", i, r.ID)
+		}
+	}
+}
+
+func TestDiurnalModulationChangesSizes(t *testing.T) {
+	cfg := model.DRM1()
+	plain := NewGenerator(cfg, 21)
+	diurnal := NewGenerator(cfg, 21)
+	diurnal.EnableDiurnal()
+	differ := false
+	for i := 0; i < 600; i++ {
+		if plain.Next().Items != diurnal.Next().Items {
+			differ = true
+			break
+		}
+	}
+	if !differ {
+		t.Error("diurnal modulation should alter the request-size stream")
+	}
+}

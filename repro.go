@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "Understanding
+// Capacity-Driven Scale-Out Neural Recommendation Inference" (Lui et al.,
+// ISPASS 2021): a distributed inference runtime for DLRM-style
+// recommendation models whose embedding tables exceed a single server's
+// memory, together with the paper's three capacity-driven sharding
+// strategies, its cross-layer distributed tracing framework, and a
+// benchmark harness regenerating every table and figure of its
+// evaluation.
+//
+// The root package holds only the benchmark harness (bench_test.go); the
+// implementation lives under internal/ (see DESIGN.md for the system
+// inventory) and runnable entry points under cmd/ and examples/.
+package repro
