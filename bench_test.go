@@ -20,8 +20,12 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/frontend"
+	"repro/internal/trace"
 )
 
 var (
@@ -139,13 +143,73 @@ func BenchmarkTable3Compression(b *testing.B) { runExperiment(b, "tab3") }
 // (fleet sizing and memory at equal QPS, singular vs distributed).
 func BenchmarkReplicationEconomics(b *testing.B) { runExperiment(b, "repl") }
 
+// BenchmarkFrontierServing sweeps the SLA-aware serving frontend's batch
+// window against offered QPS (throughput/P99/fallback frontier).
+func BenchmarkFrontierServing(b *testing.B) { runExperiment(b, "front") }
+
+// nopExec is a zero-cost executor isolating the serving frontend's own
+// hot path (queue, gather, admission, demux) from engine time.
+type nopExec struct{}
+
+func (nopExec) Validate(*core.RankingRequest) error { return nil }
+
+func (nopExec) ExecuteBatch(items []core.BatchItem) ([][]float32, error) {
+	out := make([][]float32, len(items))
+	for i, it := range items {
+		out[i] = make([]float32, it.Req.Items)
+	}
+	return out, nil
+}
+
+// BenchmarkFrontendBatcher measures the dynamic batcher's hot path:
+// concurrent submits coalescing through the queue into no-op executions.
+// The custom reqs/batch metric shows the coalescing the contention level
+// actually achieves.
+func BenchmarkFrontendBatcher(b *testing.B) {
+	f := frontend.New(nopExec{}, frontend.Config{MaxQueue: 4096, MaxBatchRequests: 64})
+	defer f.Close()
+	req := &core.RankingRequest{ID: 1, Items: 8}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := f.Submit(trace.Context{TraceID: 1}, req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	st := f.Stats()
+	if st.Batches > 0 {
+		b.ReportMetric(float64(st.BatchedRequests)/float64(st.Batches), "reqs/batch")
+	}
+}
+
+// BenchmarkFrontendAdmission measures the admission-control path: every
+// submit prices its SLA budget against the estimator before queueing.
+func BenchmarkFrontendAdmission(b *testing.B) {
+	f := frontend.New(nopExec{}, frontend.Config{
+		MaxQueue: 4096, MaxBatchRequests: 64, Budget: time.Second,
+	})
+	defer f.Close()
+	req := &core.RankingRequest{ID: 1, Items: 8}
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := f.Submit(trace.Context{TraceID: 1}, req); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
 // TestExperimentRegistryComplete pins the experiment inventory to the
 // paper's artifact list so a new figure cannot silently go missing.
 func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig3", "fig4", "fig5", "tab2", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab3",
-		"repl",
+		"repl", "front",
 	}
 	all := experiments.All()
 	if len(all) != len(want) {

@@ -21,11 +21,14 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/frontend"
 	"repro/internal/model"
 	"repro/internal/netsim"
 	"repro/internal/platform"
+	"repro/internal/replication"
 	"repro/internal/rpc"
 	"repro/internal/sharding"
 	"repro/internal/trace"
@@ -42,8 +45,18 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
 		modelFile = flag.String("model-file", "", "load a serialized model (from shardtool -save-model) instead of building")
 		shardFile = flag.String("shard-file", "", "sparse role: serve directly from a shard file (shardtool -export-shards)")
-		peers     = flag.String("peers", "", "main role: comma-separated sparseN=host:port bindings")
+		peers     = flag.String("peers", "", "main role: comma-separated sparseN=host:port bindings; repeat a name to add hedge replicas")
 		netDelay  = flag.Bool("netsim", false, "inject data-center link latency")
+
+		// SLA-aware frontend (main role). Any of
+		// -batch-wait/-batch-reqs/-max-queue/-sla enables it; all unset,
+		// the main shard serves one request per call.
+		batchWait = flag.Duration("batch-wait", 0, "dynamic batching window (enables the serving frontend)")
+		batchReqs = flag.Int("batch-reqs", 0, "max requests coalesced per engine execution, default 16 (enables the serving frontend)")
+		maxQueue  = flag.Int("max-queue", 0, "bounded admission queue depth (enables the serving frontend)")
+		slaBudget = flag.Duration("sla", 0, "per-request SLA budget for admission control (enables the serving frontend)")
+		hedge     = flag.Duration("hedge", 0, "hedge sparse RPCs against a peer replica after this delay (needs repeated -peers names)")
+		maxInFly  = flag.Int("max-inflight", 0, "main role: reject requests beyond this many in flight (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -76,6 +89,7 @@ func main() {
 	}
 
 	var srv *rpc.Server
+	shutdown := func() {}
 	switch *role {
 	case "sparse":
 		if *shardFile != "" {
@@ -84,7 +98,15 @@ func main() {
 		}
 		srv, err = serveSparse(m, plan, *shardNum, *listen, *netDelay)
 	case "main":
-		srv, err = serveMain(m, plan, *listen, *peers, *netDelay)
+		opts := mainOptions{
+			batchWait:   *batchWait,
+			batchReqs:   *batchReqs,
+			maxQueue:    *maxQueue,
+			sla:         *slaBudget,
+			hedge:       *hedge,
+			maxInFlight: *maxInFly,
+		}
+		srv, shutdown, err = serveMain(m, plan, *listen, *peers, *netDelay, opts)
 	default:
 		err = fmt.Errorf("unknown role %q", *role)
 	}
@@ -101,6 +123,7 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	srv.Close()
+	shutdown()
 }
 
 // serveSparseFromFile boots a sparse shard straight from a shard file —
@@ -149,47 +172,97 @@ func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, 
 	return rpc.NewServer(listen, sh, cfg)
 }
 
-func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bool) (*rpc.Server, error) {
-	registry := rpc.NewRegistry()
+// mainOptions carries the main role's serving-frontend tuning.
+type mainOptions struct {
+	batchWait   time.Duration
+	batchReqs   int
+	maxQueue    int
+	sla         time.Duration
+	hedge       time.Duration
+	maxInFlight int
+}
+
+// frontendEnabled reports whether any SLA-frontend flag was set.
+func (o mainOptions) frontendEnabled() bool {
+	return o.batchWait > 0 || o.maxQueue > 0 || o.sla > 0 || o.batchReqs > 0
+}
+
+func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bool, opts mainOptions) (*rpc.Server, func(), error) {
+	// Peer bindings, in order; a repeated name adds hedge replicas for
+	// that service (first binding is the primary).
+	peerAddrs := make(map[string][]string)
 	if peers != "" {
 		for _, binding := range strings.Split(peers, ",") {
 			name, addr, ok := strings.Cut(strings.TrimSpace(binding), "=")
 			if !ok {
-				return nil, fmt.Errorf("bad peer binding %q (want name=addr)", binding)
+				return nil, nil, fmt.Errorf("bad peer binding %q (want name=addr)", binding)
 			}
-			registry.Register(name, addr)
+			peerAddrs[name] = append(peerAddrs[name], addr)
 		}
 	}
 	rec := trace.NewRecorder("main", 1<<18)
-	clients := make(map[string]*rpc.Client)
+	clients := make(map[string]rpc.Caller)
 	eng, err := core.NewEngine(m, plan, core.EngineConfig{
 		Recorder: rec,
-		ClientFor: func(service string) (*rpc.Client, error) {
+		ClientFor: func(service string) (rpc.Caller, error) {
 			if c, ok := clients[service]; ok {
 				return c, nil
 			}
-			addr, err := registry.Lookup(service)
-			if err != nil {
-				return nil, err
+			addrs := peerAddrs[service]
+			if len(addrs) == 0 {
+				return nil, fmt.Errorf("service %q not bound by -peers", service)
 			}
 			var link *netsim.Link
 			if sim {
 				link = platform.SCLarge().Network(7).Request
 			}
-			c, err := rpc.Dial(addr, link)
-			if err != nil {
-				return nil, err
+			callers := make([]rpc.Caller, 0, len(addrs))
+			for _, addr := range addrs {
+				c, err := rpc.Dial(addr, link)
+				if err != nil {
+					return nil, err
+				}
+				callers = append(callers, c)
 			}
-			clients[service] = c
-			return c, nil
+			var caller rpc.Caller = callers[0]
+			if len(callers) > 1 {
+				h, err := replication.NewHedged(callers, opts.hedge)
+				if err != nil {
+					return nil, err
+				}
+				caller = h
+			}
+			clients[service] = caller
+			return caller, nil
 		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return rpc.NewServer(listen, &core.MainService{Engine: eng, Rec: rec}, rpc.ServerConfig{
+
+	var handler rpc.Handler = &core.MainService{Engine: eng, Rec: rec}
+	shutdown := func() {}
+	if opts.frontendEnabled() {
+		fe := frontend.New(eng, frontend.Config{
+			BatchWait:        opts.batchWait,
+			MaxBatchRequests: opts.batchReqs,
+			MaxQueue:         opts.maxQueue,
+			Budget:           opts.sla,
+		})
+		handler = &frontend.Service{F: fe, Rec: rec}
+		shutdown = fe.Close
+		fmt.Printf("drmserve: SLA frontend enabled (wait=%v queue=%d budget=%v)\n",
+			opts.batchWait, opts.maxQueue, opts.sla)
+	}
+	srv, err := rpc.NewServer(listen, handler, rpc.ServerConfig{
 		Recorder: rec, BoilerplateCost: platform.BaseBoilerplate,
+		MaxInFlight: opts.maxInFlight,
 	})
+	if err != nil {
+		shutdown()
+		return nil, nil, err
+	}
+	return srv, shutdown, nil
 }
 
 func buildPlan(cfg *model.Config, strategy string, n int, pooling map[int]float64) (*sharding.Plan, error) {

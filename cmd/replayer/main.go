@@ -29,6 +29,8 @@ func main() {
 		qps       = flag.Float64("qps", 0, "open-loop arrival rate; 0 = serial blocking")
 		seed      = flag.Int64("seed", 12345, "workload seed (must match analysis runs)")
 		diurnal   = flag.Bool("diurnal", false, "modulate request sizes diurnally")
+		slaBudget = flag.Duration("sla", 0, "evaluate results against this latency budget")
+		slaQ      = flag.Float64("sla-quantile", 0.99, "SLA target quantile")
 	)
 	flag.Parse()
 
@@ -57,7 +59,7 @@ func main() {
 		res = rep.RunSerial(reqs)
 	}
 
-	fmt.Printf("sent %d requests, %d failed\n", res.Sent, res.Failed())
+	fmt.Printf("sent %d requests, %d failed, %d shed to fallbacks\n", res.Sent, res.Failed(), res.Fallbacks)
 	for _, err := range res.Errors {
 		fmt.Println("  error:", err)
 	}
@@ -65,6 +67,9 @@ func main() {
 		s := stats.NewDurationSample(res.ClientE2E)
 		fmt.Printf("client E2E: p50=%.3fms p90=%.3fms p99=%.3fms mean=%.3fms\n",
 			s.P50()*1e3, s.P90()*1e3, s.P99()*1e3, s.Mean()*1e3)
+	}
+	if *slaBudget > 0 {
+		fmt.Println(serve.SLA{Budget: *slaBudget, TargetQuantile: *slaQ}.Evaluate(res))
 	}
 	if res.Failed() > 0 {
 		os.Exit(1)

@@ -14,8 +14,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/embedding"
+	"repro/internal/frontend"
 	"repro/internal/model"
 	"repro/internal/platform"
+	"repro/internal/replication"
 	"repro/internal/rpc"
 	"repro/internal/sharding"
 	"repro/internal/trace"
@@ -35,6 +37,20 @@ type Options struct {
 	// ClockSkew, when true, gives every shard a distinct simulated clock
 	// offset (±up to 200ms) to exercise the analyzer's skew immunity.
 	ClockSkew bool
+	// Frontend, when non-nil, fronts the main shard with the SLA-aware
+	// scheduler (dynamic batching + admission control) instead of the
+	// direct one-request-per-call service.
+	Frontend *frontend.Config
+	// SparseReplicas serves every sparse shard from this many identical
+	// servers (default 1). Sparse shards are stateless, so replicas share
+	// one table store and one recorder.
+	SparseReplicas int
+	// HedgeDelay, with SparseReplicas > 1, hedges sparse RPCs against a
+	// replica once the primary has been outstanding this long.
+	HedgeDelay time.Duration
+	// MainMaxInFlight bounds concurrent requests dispatched at the main
+	// shard's RPC server (0 = unbounded): transport-level backpressure.
+	MainMaxInFlight int
 }
 
 // Cluster is a running deployment.
@@ -45,10 +61,16 @@ type Cluster struct {
 	Collector *trace.Collector
 	MainRec   *trace.Recorder
 
-	Engine     *core.Engine
+	Engine *core.Engine
+	// Frontend is non-nil when Options.Frontend fronted the main shard.
+	Frontend *frontend.Frontend
+	// Hedged holds the per-service hedged callers when SparseReplicas > 1
+	// (keyed like Registry services: "sparse1", ...).
+	Hedged map[string]*replication.Hedged
+
 	mainServer *rpc.Server
 	sparse     []*rpc.Server
-	clients    map[string]*rpc.Client
+	clients    map[string]rpc.Caller
 }
 
 // gcTuneOnce relaxes the collector for measurement runs: the request
@@ -70,12 +92,18 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 		plat = *opts.SparsePlatform
 	}
 
+	replicas := opts.SparseReplicas
+	if replicas < 1 {
+		replicas = 1
+	}
+
 	c := &Cluster{
 		Model:     m,
 		Plan:      plan,
 		Registry:  rpc.NewRegistry(),
 		Collector: trace.NewCollector(),
-		clients:   make(map[string]*rpc.Client),
+		clients:   make(map[string]rpc.Caller),
+		Hedged:    make(map[string]*replication.Hedged),
 	}
 	c.MainRec = trace.NewRecorder("main", opts.SpanCapacity)
 	c.Collector.Attach(c.MainRec)
@@ -102,24 +130,41 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 		}
 		for i, sh := range shards {
 			sh.OpComputeScale = plat.OpComputeScale
-			profile := plat.Network(opts.Seed + int64(i)*7919)
-			srv, err := rpc.NewServer("127.0.0.1:0", sh, rpc.ServerConfig{
-				Recorder:        recs[i],
-				ResponseLink:    profile.Response,
-				BoilerplateCost: platform.BaseBoilerplate,
-				ComputeScale:    plat.BoilerplateScale,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("cluster: starting %s: %w", sh.ShardName, err)
+			// Replica servers share the shard's table store and recorder:
+			// sparse shards are stateless, so a replica is just another
+			// front door to identical data.
+			callers := make([]rpc.Caller, 0, replicas)
+			for r := 0; r < replicas; r++ {
+				profile := plat.Network(opts.Seed + int64(i)*7919 + int64(r)*104729)
+				srv, err := rpc.NewServer("127.0.0.1:0", sh, rpc.ServerConfig{
+					Recorder:        recs[i],
+					ResponseLink:    profile.Response,
+					BoilerplateCost: platform.BaseBoilerplate,
+					ComputeScale:    plat.BoilerplateScale,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("cluster: starting %s: %w", sh.ShardName, err)
+				}
+				c.sparse = append(c.sparse, srv)
+				if r == 0 {
+					c.Registry.Register(sh.ShardName, srv.Addr())
+				}
+				client, err := rpc.Dial(srv.Addr(), profile.Request)
+				if err != nil {
+					return nil, fmt.Errorf("cluster: dialing %s: %w", sh.ShardName, err)
+				}
+				callers = append(callers, client)
 			}
-			c.sparse = append(c.sparse, srv)
-			c.Registry.Register(sh.ShardName, srv.Addr())
-
-			client, err := rpc.Dial(srv.Addr(), profile.Request)
-			if err != nil {
-				return nil, fmt.Errorf("cluster: dialing %s: %w", sh.ShardName, err)
+			if replicas == 1 {
+				c.clients[sh.ShardName] = callers[0]
+				continue
 			}
-			c.clients[sh.ShardName] = client
+			h, err := replication.NewHedged(callers, opts.HedgeDelay)
+			if err != nil {
+				return nil, err
+			}
+			c.Hedged[sh.ShardName] = h
+			c.clients[sh.ShardName] = h
 		}
 	}
 
@@ -134,7 +179,7 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	eng, err := core.NewEngine(m, plan, core.EngineConfig{
 		BatchSize: opts.BatchSize,
 		Recorder:  c.MainRec,
-		ClientFor: func(service string) (*rpc.Client, error) {
+		ClientFor: func(service string) (rpc.Caller, error) {
 			cl, ok := c.clients[service]
 			if !ok {
 				return nil, fmt.Errorf("cluster: no client for %s", service)
@@ -147,9 +192,15 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	}
 	c.Engine = eng
 
-	mainSrv, err := rpc.NewServer("127.0.0.1:0", &core.MainService{Engine: eng, Rec: c.MainRec}, rpc.ServerConfig{
+	var mainHandler rpc.Handler = &core.MainService{Engine: eng, Rec: c.MainRec}
+	if opts.Frontend != nil {
+		c.Frontend = frontend.New(eng, *opts.Frontend)
+		mainHandler = &frontend.Service{F: c.Frontend, Rec: c.MainRec}
+	}
+	mainSrv, err := rpc.NewServer("127.0.0.1:0", mainHandler, rpc.ServerConfig{
 		Recorder:        c.MainRec,
 		BoilerplateCost: platform.BaseBoilerplate,
+		MaxInFlight:     opts.MainMaxInFlight,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("cluster: starting main shard: %w", err)
@@ -206,15 +257,29 @@ func (c *Cluster) KillSparse(i int) {
 	}
 }
 
-// Close tears down clients and servers; safe on partially built clusters.
+// MainStats snapshots the main server's backpressure gauges.
+func (c *Cluster) MainStats() rpc.ServerStats {
+	if c.mainServer == nil {
+		return rpc.ServerStats{}
+	}
+	return c.mainServer.Stats()
+}
+
+// Close tears down the deployment; safe on partially built clusters.
+// Order matters once a frontend is in play: stop admitting at the main
+// server, drain the frontend's queue (its executions still need the
+// sparse clients), then drop connections and sparse servers.
 func (c *Cluster) Close() {
+	if c.mainServer != nil {
+		c.mainServer.Close()
+	}
+	if c.Frontend != nil {
+		c.Frontend.Close()
+	}
 	for _, cl := range c.clients {
 		cl.Close()
 	}
 	for _, s := range c.sparse {
 		s.Close()
-	}
-	if c.mainServer != nil {
-		c.mainServer.Close()
 	}
 }

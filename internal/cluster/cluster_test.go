@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/frontend"
 	"repro/internal/model"
 	"repro/internal/serve"
 	"repro/internal/sharding"
@@ -262,5 +263,77 @@ func TestRegistryPopulated(t *testing.T) {
 	svcs := cl.Registry.Services()
 	if len(svcs) != 3 { // main + 2 sparse
 		t.Fatalf("services = %v", svcs)
+	}
+}
+
+// TestFrontedClusterEndToEnd boots a distributed deployment with the
+// SLA-aware frontend and hedged sparse replicas, drives concurrent
+// open-loop traffic, and checks (a) scores match the singular ground
+// truth, (b) requests actually coalesced into fewer engine batches.
+func TestFrontedClusterEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := smallModel()
+	m := model.Build(cfg)
+	plan, err := sharding.CapacityBalanced(&cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := cluster.Boot(m, plan, cluster.Options{
+		Seed: 3,
+		Frontend: &frontend.Config{
+			BatchWait:        3 * time.Millisecond,
+			MaxBatchRequests: 8,
+		},
+		SparseReplicas: 2,
+		HedgeDelay:     20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if len(cl.Hedged) != plan.NumShards {
+		t.Fatalf("hedged callers for %d services, want %d", len(cl.Hedged), plan.NumShards)
+	}
+
+	client, err := cl.DialMain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const n = 16
+	reqs := workload.NewGenerator(cfg, 8).GenerateBatch(n)
+	want := execDirect(t, m, reqs)
+
+	res := serve.NewReplayer(client).RunOpenLoop(reqs, 2000)
+	if res.Failed() != 0 {
+		t.Fatalf("replay failures: %v", res.Errors)
+	}
+	if res.Sent != n || res.Fallbacks != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	st := cl.Frontend.Stats()
+	if st.Completed != n {
+		t.Fatalf("frontend completed %d of %d", st.Completed, n)
+	}
+	if st.Batches >= n {
+		t.Errorf("%d engine batches for %d concurrent requests: no coalescing", st.Batches, n)
+	}
+
+	// Scores through the hedged distributed engine must equal the
+	// singular ground truth.
+	for i, req := range reqs {
+		got, err := cl.Engine.Execute(trace.Context{TraceID: uint64(500 + i)}, core.FromWorkload(req))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range got {
+			if math.Abs(float64(got[j]-want[i][j])) > 1e-5 {
+				t.Fatalf("request %d item %d: %v != %v", i, j, got[j], want[i][j])
+			}
+		}
 	}
 }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/embedding"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// BatchItem pairs one request with its own trace context inside a
+// coalesced engine execution. The serving frontend collects concurrent
+// requests into a []BatchItem; the engine runs them as one execution and
+// demuxes outputs and spans back per request.
+type BatchItem struct {
+	Ctx trace.Context
+	Req *RankingRequest
+}
+
+// ExecuteBatch runs several ranking requests as one coalesced engine
+// execution: the requests' items are concatenated into a single combined
+// request, executed through the normal batch-parallel path, and the
+// scores are demuxed back per request. Per-item scores are independent of
+// how items are grouped into executions (every operator is row- or
+// bag-local until the final per-item head), so outputs are identical to
+// running each request through Execute alone.
+//
+// All requests are validated before any work runs, and an error —
+// validation or execution — fails the whole batch: the requests shared
+// the execution. Callers that need per-request fault isolation (the
+// serving frontend) must Validate each request before coalescing it.
+func (e *Engine) ExecuteBatch(items []BatchItem) ([][]float32, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	if len(items) == 1 {
+		out, err := e.Execute(items[0].Ctx, items[0].Req)
+		if err != nil {
+			return nil, err
+		}
+		return [][]float32{out}, nil
+	}
+	total := 0
+	for _, it := range items {
+		if err := e.Validate(it.Req); err != nil {
+			return nil, err
+		}
+		total += int(it.Req.Items)
+	}
+
+	combined := e.coalesce(items, total)
+	start := e.cfg.Recorder.Now()
+	scores, err := e.executeValidated(items[0].Ctx, combined)
+	dur := e.cfg.Recorder.Now().Sub(start)
+	// Demux the execution span per request: every coalesced request rode
+	// the same engine execution, so each one's trace shows the full
+	// coalesced service time under its own trace id.
+	for _, it := range items {
+		e.cfg.Recorder.Record(trace.Span{
+			TraceID: it.Ctx.TraceID, CallID: it.Ctx.CallID,
+			Layer: trace.LayerRequest, Name: "rank/coalesced",
+			Start: start, Dur: dur,
+		})
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: coalesced batch of %d: %w", len(items), err)
+	}
+
+	out := make([][]float32, len(items))
+	off := 0
+	for i, it := range items {
+		n := int(it.Req.Items)
+		out[i] = scores[off : off+n : off+n]
+		off += n
+	}
+	return out, nil
+}
+
+// coalesce concatenates the items' validated requests into one combined
+// request of `total` items, in item order.
+func (e *Engine) coalesce(items []BatchItem, total int) *RankingRequest {
+	combined := &RankingRequest{
+		ID:    items[0].Req.ID,
+		Items: int32(total),
+		Dense: make(map[string]*tensor.Matrix, len(e.model.Config.Nets)),
+		Bags:  make(map[int32][]embedding.Bag, len(e.model.Config.Tables)),
+	}
+	for _, ns := range e.model.Config.Nets {
+		m := tensor.New(total, ns.DenseDim)
+		off := 0
+		for _, it := range items {
+			src := it.Req.Dense[ns.Name]
+			copy(m.Data[off:off+len(src.Data)], src.Data)
+			off += len(src.Data)
+		}
+		combined.Dense[ns.Name] = m
+	}
+	for _, t := range e.model.Config.Tables {
+		tid := int32(t.ID)
+		bags := make([]embedding.Bag, 0, total)
+		for _, it := range items {
+			bags = append(bags, it.Req.Bags[tid]...)
+		}
+		combined.Bags[tid] = bags
+	}
+	return combined
+}

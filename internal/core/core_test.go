@@ -437,3 +437,76 @@ func TestServiceName(t *testing.T) {
 		t.Errorf("ServiceName(3) = %q", ServiceName(3))
 	}
 }
+
+func TestExecuteBatchMatchesExecute(t *testing.T) {
+	// A coalesced execution must demux to exactly the scores each request
+	// gets through the unbatched path.
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	rec := trace.NewRecorder("main", 1<<16)
+	eng, err := NewEngine(m, sharding.Singular(&cfg), EngineConfig{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewGenerator(cfg, 5)
+	var items []BatchItem
+	var want [][]float32
+	for i := 0; i < 5; i++ {
+		req := FromWorkload(gen.Next())
+		scores, err := eng.Execute(trace.Context{TraceID: uint64(100 + i)}, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		items = append(items, BatchItem{Ctx: trace.Context{TraceID: uint64(i + 1)}, Req: req})
+		want = append(want, scores)
+	}
+	got, err := eng.ExecuteBatch(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(items) {
+		t.Fatalf("demuxed %d outputs for %d requests", len(got), len(items))
+	}
+	for i := range got {
+		if len(got[i]) != int(items[i].Req.Items) {
+			t.Fatalf("request %d: %d scores for %d items", i, len(got[i]), items[i].Req.Items)
+		}
+		for j := range got[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("request %d item %d: batched %v != unbatched %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	// Each coalesced request must carry its own execution span.
+	var coalesced int
+	for _, s := range rec.Spans() {
+		if s.Name == "rank/coalesced" {
+			coalesced++
+		}
+	}
+	if coalesced != len(items) {
+		t.Errorf("recorded %d rank/coalesced spans, want %d", coalesced, len(items))
+	}
+}
+
+func TestExecuteBatchEdgeCases(t *testing.T) {
+	cfg := tinyConfig()
+	m := model.Build(cfg)
+	rec := trace.NewRecorder("main", 1<<16)
+	eng, err := NewEngine(m, sharding.Singular(&cfg), EngineConfig{Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := eng.ExecuteBatch(nil); out != nil || err != nil {
+		t.Errorf("empty batch = %v, %v", out, err)
+	}
+	req := FromWorkload(workload.NewGenerator(cfg, 6).Next())
+	single, err := eng.ExecuteBatch([]BatchItem{{Ctx: trace.Context{TraceID: 1}, Req: req}})
+	if err != nil || len(single) != 1 || len(single[0]) != int(req.Items) {
+		t.Fatalf("single-item batch = %v, %v", single, err)
+	}
+	bad := &RankingRequest{ID: 99, Items: 0}
+	if _, err := eng.ExecuteBatch([]BatchItem{{Req: req}, {Req: bad}}); err == nil {
+		t.Error("malformed member must fail batch validation")
+	}
+}

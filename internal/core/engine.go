@@ -26,8 +26,9 @@ type EngineConfig struct {
 	// Recorder receives main-shard spans; required.
 	Recorder *trace.Recorder
 	// ClientFor resolves a sparse shard service name to a connected RPC
-	// client. Required for distributed plans.
-	ClientFor func(service string) (*rpc.Client, error)
+	// caller (a plain client, or a hedged replica set). Required for
+	// distributed plans.
+	ClientFor func(service string) (rpc.Caller, error)
 }
 
 // Engine executes ranking requests for one model under one sharding plan.
@@ -81,7 +82,7 @@ type netProgram struct {
 
 type remoteGroupSpec struct {
 	service string
-	client  *rpc.Client
+	client  rpc.Caller
 	entries []groupEntry
 }
 
@@ -164,7 +165,7 @@ func pickInteract(tables []model.TableSpec, k int) []int {
 	return out
 }
 
-func compileRemote(np *netProgram, plan *sharding.Plan, clientFor func(string) (*rpc.Client, error)) error {
+func compileRemote(np *netProgram, plan *sharding.Plan, clientFor func(string) (rpc.Caller, error)) error {
 	inNet := make(map[int]model.TableSpec, len(np.tables))
 	for _, t := range np.tables {
 		inNet[t.ID] = t
@@ -316,27 +317,41 @@ func (e *Engine) BatchSize() int {
 // Plan returns the engine's sharding plan.
 func (e *Engine) Plan() *sharding.Plan { return e.plan }
 
+// Validate checks a request's shape against the model without running it.
+func (e *Engine) Validate(req *RankingRequest) error {
+	items := int(req.Items)
+	if items <= 0 {
+		return fmt.Errorf("core: request %d has no items", req.ID)
+	}
+	for _, ns := range e.model.Config.Nets {
+		m := req.Dense[ns.Name]
+		if m == nil || m.Rows != items || m.Cols != ns.DenseDim {
+			return fmt.Errorf("core: request %d dense input for %s malformed", req.ID, ns.Name)
+		}
+	}
+	for _, t := range e.model.Config.Tables {
+		if bags := req.Bags[int32(t.ID)]; len(bags) != items {
+			return fmt.Errorf("core: request %d has %d bags for table %d (want %d)", req.ID, len(bags), t.ID, items)
+		}
+	}
+	return nil
+}
+
 // Execute runs one ranking request: the request is split into
 // ⌈items/batch⌉ batches executed in parallel (the paper's batch-level
 // parallelism), each batch running the model's nets sequentially. It
 // returns one score per item.
 func (e *Engine) Execute(ctx trace.Context, req *RankingRequest) ([]float32, error) {
-	items := int(req.Items)
-	if items <= 0 {
-		return nil, fmt.Errorf("core: request %d has no items", req.ID)
+	if err := e.Validate(req); err != nil {
+		return nil, err
 	}
-	for _, ns := range e.model.Config.Nets {
-		m := req.Dense[ns.Name]
-		if m == nil || m.Rows != items || m.Cols != ns.DenseDim {
-			return nil, fmt.Errorf("core: request %d dense input for %s malformed", req.ID, ns.Name)
-		}
-	}
-	for _, t := range e.model.Config.Tables {
-		if bags := req.Bags[int32(t.ID)]; len(bags) != items {
-			return nil, fmt.Errorf("core: request %d has %d bags for table %d (want %d)", req.ID, len(bags), t.ID, items)
-		}
-	}
+	return e.executeValidated(ctx, req)
+}
 
+// executeValidated is Execute after shape validation: batch-level
+// parallel execution of one (possibly coalesced) request.
+func (e *Engine) executeValidated(ctx trace.Context, req *RankingRequest) ([]float32, error) {
+	items := int(req.Items)
 	b := e.BatchSize()
 	nb := (items + b - 1) / b
 	scores := make([]float32, items)

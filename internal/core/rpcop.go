@@ -159,7 +159,7 @@ type rpcOp struct {
 	name    string
 	net     string
 	service string
-	client  *rpc.Client
+	client  rpc.Caller
 	entries []groupEntry
 	// collectors are shared across the net's rpc ops; keyed by table ID.
 	collectors map[int]*collector

@@ -182,6 +182,38 @@ func MaterializeShards(m *model.Model, plan *sharding.Plan, recs []*trace.Record
 	return shards, nil
 }
 
+// HandleRank is the shared wire handling for the "rank" method: decode
+// and encode with the serde spans the paper attributes to the main
+// shard, around any scoring function. Both the direct MainService and
+// the serving frontend's Service route through it, so fronted and
+// unfronted deployments record identical serde attribution.
+func HandleRank(rec *trace.Recorder, ctx trace.Context, method string, body []byte,
+	run func(trace.Context, *RankingRequest) ([]float32, error)) ([]byte, error) {
+	if method != "rank" {
+		return nil, fmt.Errorf("core: main shard: unknown method %q", method)
+	}
+	desStart := rec.Now()
+	req, err := DecodeRankingRequest(body)
+	rec.Record(trace.Span{
+		TraceID: ctx.TraceID, Layer: trace.LayerSerDe,
+		Name: "rank/decode", Start: desStart, Dur: rec.Now().Sub(desStart),
+	})
+	if err != nil {
+		return nil, err
+	}
+	scores, err := run(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	encStart := rec.Now()
+	out := EncodeRankingResponse(&RankingResponse{Scores: scores})
+	rec.Record(trace.Span{
+		TraceID: ctx.TraceID, Layer: trace.LayerSerDe,
+		Name: "rank/encode", Start: encStart, Dur: rec.Now().Sub(encStart),
+	})
+	return out, nil
+}
+
 // MainService adapts an Engine to rpc.Handler for the "rank" method,
 // recording the request/response serde spans the paper attributes to the
 // main shard.
@@ -192,27 +224,5 @@ type MainService struct {
 
 // Handle implements rpc.Handler.
 func (s *MainService) Handle(ctx trace.Context, method string, body []byte) ([]byte, error) {
-	if method != "rank" {
-		return nil, fmt.Errorf("core: main shard: unknown method %q", method)
-	}
-	desStart := s.Rec.Now()
-	req, err := DecodeRankingRequest(body)
-	s.Rec.Record(trace.Span{
-		TraceID: ctx.TraceID, Layer: trace.LayerSerDe,
-		Name: "rank/decode", Start: desStart, Dur: s.Rec.Now().Sub(desStart),
-	})
-	if err != nil {
-		return nil, err
-	}
-	scores, err := s.Engine.Execute(ctx, req)
-	if err != nil {
-		return nil, err
-	}
-	encStart := s.Rec.Now()
-	out := EncodeRankingResponse(&RankingResponse{Scores: scores})
-	s.Rec.Record(trace.Span{
-		TraceID: ctx.TraceID, Layer: trace.LayerSerDe,
-		Name: "rank/encode", Start: encStart, Dur: s.Rec.Now().Sub(encStart),
-	})
-	return out, nil
+	return HandleRank(s.Rec, ctx, method, body, s.Engine.Execute)
 }

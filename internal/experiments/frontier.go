@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/frontend"
+	"repro/internal/serve"
+	"repro/internal/sharding"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Frontier sweeps the serving frontend's dynamic-batching window against
+// offered open-loop load and reports the throughput/P99/fallback
+// frontier — the system-level consequence of the paper's SLA framing:
+// under heavy traffic a deployment either batches aggressively enough to
+// keep up or sheds the excess into fallbacks; it must not collapse into
+// unbounded queueing. Offered load is expressed in multiples of the
+// deployment's measured serial capacity so the sweep lands in the same
+// regimes (under-, at-, and over-capacity) on any host.
+func (r *Runner) Frontier(w io.Writer) error {
+	writeHeader(w, "SLA serving frontier: batch window x offered QPS (DRM1 singular, frontend)")
+	m := r.Model("DRM1")
+	cfg := m.Config
+	plan := sharding.Singular(&cfg)
+	n := r.P.Requests
+
+	// Calibrate: serial capacity and latency through an unwindowed
+	// frontend (each request its own batch — the unbatched baseline).
+	calCl, err := cluster.Boot(m, plan, cluster.Options{Seed: r.P.Seed, Frontend: &frontend.Config{}})
+	if err != nil {
+		return err
+	}
+	calClient, err := calCl.DialMain()
+	if err != nil {
+		calCl.Close()
+		return err
+	}
+	gen := workload.NewGenerator(cfg, r.P.Seed)
+	rep := serve.NewReplayer(calClient)
+	if warm := rep.RunSerial(gen.GenerateBatch(r.P.Warmup)); warm.Failed() > 0 {
+		calClient.Close()
+		calCl.Close()
+		return fmt.Errorf("frontier warmup: %v", warm.Errors[0])
+	}
+	t0 := time.Now()
+	cal := rep.RunSerial(gen.GenerateBatch(n))
+	calElapsed := time.Since(t0)
+	calClient.Close()
+	calCl.Close()
+	if cal.Failed() > 0 {
+		return fmt.Errorf("frontier calibration: %v", cal.Errors[0])
+	}
+	capacity := float64(cal.Sent) / calElapsed.Seconds()
+	meanLat := time.Duration(stats.NewDurationSample(cal.ClientE2E).Mean() * float64(time.Second))
+	budget := 8 * meanLat
+	sla := serve.SLA{Budget: budget, TargetQuantile: 0.99}
+	fmt.Fprintf(w, "serial capacity %.0f QPS, mean latency %v -> SLA budget %v @ p99\n\n",
+		capacity, meanLat.Round(time.Microsecond), budget.Round(time.Millisecond))
+
+	fmt.Fprintf(w, "%-10s %-8s %-10s %-10s %-10s %-10s %-10s %s\n",
+		"window", "load", "offered", "achieved", "p50(ms)", "p99(ms)", "fallback%", "reqs/batch")
+	for _, window := range []time.Duration{0, 2 * time.Millisecond, 8 * time.Millisecond} {
+		cl, err := cluster.Boot(m, plan, cluster.Options{
+			Seed: r.P.Seed,
+			Frontend: &frontend.Config{
+				BatchWait: window,
+				MaxQueue:  2 * n,
+				Budget:    budget,
+			},
+		})
+		if err != nil {
+			return err
+		}
+		client, err := cl.DialMain()
+		if err != nil {
+			cl.Close()
+			return err
+		}
+		rep := serve.NewReplayer(client)
+		if warm := rep.RunSerial(workload.NewGenerator(cfg, r.P.Seed+1).GenerateBatch(r.P.Warmup)); warm.Failed() > 0 {
+			client.Close()
+			cl.Close()
+			return fmt.Errorf("frontier warmup (window %v): %v", window, warm.Errors[0])
+		}
+		prev := cl.Frontend.Stats()
+		for _, mult := range []float64{0.5, 1.0, 2.0} {
+			// Every cell replays the identical request stream, the
+			// paper's fixed-trace methodology.
+			reqs := workload.NewGenerator(cfg, r.P.Seed+99).GenerateBatch(n)
+			t0 := time.Now()
+			res := rep.RunOpenLoop(reqs, capacity*mult)
+			elapsed := time.Since(t0)
+			if res.Failed() > 0 {
+				client.Close()
+				cl.Close()
+				return fmt.Errorf("frontier window %v x%.1f: %d hard failures: %v",
+					window, mult, res.Failed(), res.Errors[0])
+			}
+			st := cl.Frontend.Stats()
+			batches := st.Batches - prev.Batches
+			perBatch := 0.0
+			if batches > 0 {
+				perBatch = float64(st.BatchedRequests-prev.BatchedRequests) / float64(batches)
+			}
+			prev = st
+			sample := stats.NewDurationSample(res.ClientE2E)
+			rep := sla.Evaluate(res)
+			fmt.Fprintf(w, "%-10v %-8s %-10.0f %-10.0f %-10.2f %-10.2f %-10.1f %.2f\n",
+				window, fmt.Sprintf("%.1fx", mult), capacity*mult,
+				float64(len(res.ClientE2E))/elapsed.Seconds(),
+				sample.P50()*1e3, sample.P99()*1e3, 100*rep.FallbackRate, perBatch)
+		}
+		client.Close()
+		cl.Close()
+	}
+	fmt.Fprintln(w, "\nReading: a wider window trades added latency at low load for\ncoalescing (reqs/batch) at high load; past capacity the frontend sheds\ninto fallbacks instead of queueing without bound.")
+	return nil
+}

@@ -37,6 +37,7 @@ func All() []Experiment {
 		{"fig16", "High-QPS overheads, DRM1", func(r *Runner, w io.Writer) error { return r.Fig16(w) }},
 		{"tab3", "Quantization and pruning on DRM1", func(r *Runner, w io.Writer) error { return r.Table3(w) }},
 		{"repl", "Replication economics (§VII-C)", func(r *Runner, w io.Writer) error { return r.Replication(w) }},
+		{"front", "SLA serving frontier (batch window × QPS)", func(r *Runner, w io.Writer) error { return r.Frontier(w) }},
 	}
 }
 

@@ -1,0 +1,113 @@
+package frontend
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// run is the dispatcher: it gathers queued requests into deadline-bounded
+// batches and executes them. One goroutine owns the loop, so while the
+// executor runs, new arrivals accumulate in the queue and the next batch
+// is naturally larger — the classic adaptive-batching feedback.
+func (f *Frontend) run() {
+	defer f.wg.Done()
+	for {
+		p, ok := <-f.queue
+		if !ok {
+			return
+		}
+		batch := []*pending{p}
+		items := int(p.item.Req.Items)
+
+		if f.cfg.BatchWait > 0 {
+			timer := time.NewTimer(f.cfg.BatchWait)
+		gather:
+			for len(batch) < f.cfg.MaxBatchRequests && items < f.cfg.MaxBatchItems {
+				select {
+				case q, ok := <-f.queue:
+					if !ok {
+						break gather
+					}
+					batch = append(batch, q)
+					items += int(q.item.Req.Items)
+				case <-timer.C:
+					break gather
+				}
+			}
+			timer.Stop()
+		} else {
+		drain:
+			for len(batch) < f.cfg.MaxBatchRequests && items < f.cfg.MaxBatchItems {
+				select {
+				case q, ok := <-f.queue:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, q)
+					items += int(q.item.Req.Items)
+				default:
+					break drain
+				}
+			}
+		}
+		f.dispatch(batch, items)
+	}
+}
+
+// dispatch re-checks each gathered request's remaining budget against the
+// estimated execution time (late admission control: queueing and the
+// gather window have consumed budget since Submit), sheds the hopeless
+// ones, and runs the survivors as one coalesced execution.
+func (f *Frontend) dispatch(batch []*pending, items int) {
+	now := time.Now()
+	keep := make([]*pending, 0, len(batch))
+	for _, p := range batch {
+		// Re-price the batch after every shed: a dropped large request
+		// shrinks the execution the survivors actually face, and judging
+		// them against the stale pre-shed estimate would cascade sheds
+		// through requests that now comfortably fit.
+		est := f.est.batch(items)
+		// Probes ignore the (possibly stale) estimate: they exist to
+		// re-measure it. A hard-expired deadline still sheds them.
+		cutoff := now.Add(est)
+		if p.probe {
+			cutoff = now
+		}
+		if !p.deadline.IsZero() && cutoff.After(p.deadline) {
+			f.stats.shedDeadline.Add(1)
+			p.err = fmt.Errorf("%w: %v of budget left, execution needs ~%v",
+				ErrShed, time.Until(p.deadline).Round(time.Microsecond), est.Round(time.Microsecond))
+			close(p.done)
+			items -= int(p.item.Req.Items)
+			continue
+		}
+		keep = append(keep, p)
+	}
+	if len(keep) == 0 {
+		return
+	}
+
+	calls := make([]core.BatchItem, len(keep))
+	for i, p := range keep {
+		calls[i] = p.item
+	}
+	start := time.Now()
+	outs, err := f.exec.ExecuteBatch(calls)
+	f.est.observe(time.Since(start), items)
+
+	f.stats.batches.Add(1)
+	f.stats.batchedRequests.Add(uint64(len(keep)))
+	f.stats.batchedItems.Add(uint64(items))
+	f.stats.maxBatch.max(uint64(len(keep)))
+	for i, p := range keep {
+		if err != nil {
+			p.err = err
+		} else {
+			p.scores = outs[i]
+			f.stats.completed.Add(1)
+		}
+		close(p.done)
+	}
+}

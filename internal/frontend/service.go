@@ -1,0 +1,25 @@
+package frontend
+
+import (
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/trace"
+)
+
+// Service adapts a Frontend to rpc.Handler for the "rank" method: the
+// drop-in replacement for core.MainService when a deployment fronts the
+// engine with SLA-aware scheduling. Serde spans are recorded exactly as
+// the direct service records them, so trace attributions stay comparable
+// between fronted and unfronted deployments.
+type Service struct {
+	F   *Frontend
+	Rec *trace.Recorder
+}
+
+// Handle implements rpc.Handler.
+func (s *Service) Handle(ctx trace.Context, method string, body []byte) ([]byte, error) {
+	return core.HandleRank(s.Rec, ctx, method, body, s.F.Submit)
+}
+
+// interface check: a Service must be usable anywhere core.MainService is.
+var _ rpc.Handler = (*Service)(nil)

@@ -2,6 +2,7 @@ package netsim
 
 import (
 	"container/heap"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -18,6 +19,7 @@ type Wheel struct {
 	mu     sync.Mutex
 	events eventHeap
 	wake   chan struct{}
+	fire   chan event
 	once   sync.Once
 }
 
@@ -84,7 +86,11 @@ func (w *Wheel) AfterFunc(d time.Duration, fn func()) {
 }
 
 func (w *Wheel) schedule(e event) {
-	w.once.Do(func() { go w.loop() })
+	w.once.Do(func() {
+		w.fire = make(chan event, 1024)
+		go w.runFired()
+		go w.loop()
+	})
 	w.mu.Lock()
 	heap.Push(&w.events, e)
 	w.mu.Unlock()
@@ -117,16 +123,19 @@ func (w *Wheel) loop() {
 				due = append(due, heap.Pop(&w.events).(event))
 			}
 			w.mu.Unlock()
+			// Hand the burst to the single ordered worker. Spawning a
+			// goroutine per event (or per burst) would give ordering to the
+			// Go scheduler, which runs the most recent spawn first — and on
+			// a single-P host the spawns starve behind the spin loop below,
+			// firing out of order and late. The trade-off is deliberate:
+			// deadline ordering is the simulation's contract, and it costs
+			// serializing callbacks through one worker. A callback that
+			// blocks (a frame write to a full socket) delays later timer
+			// events — tolerable here because every peer in this system
+			// keeps a draining read loop — and the dispatcher itself only
+			// stalls if the worker wedges past the fire buffer's slack.
 			for _, e := range due {
-				if e.fn != nil {
-					// Callbacks do real work (frame writes); running them
-					// inline would serialize every in-flight message
-					// through this dispatcher. Spawn: the burst fans out
-					// across idle cores.
-					go e.fn()
-				} else {
-					close(e.ch)
-				}
+				w.fire <- e
 			}
 			continue
 		}
@@ -142,14 +151,30 @@ func (w *Wheel) loop() {
 			}
 			continue
 		}
-		// Close in: spin, still noticing earlier insertions.
+		// Close in: spin, still noticing earlier insertions. Yield each
+		// pass so the spin cannot starve runnable goroutines (the request
+		// path itself) when GOMAXPROCS is small.
 		for time.Now().Before(next) {
 			select {
 			case <-w.wake:
 				// A new event may now be earliest; recompute.
 				next = w.earliest(next)
 			default:
+				runtime.Gosched()
 			}
+		}
+	}
+}
+
+// runFired executes fired events in FIFO (deadline) order. fn must be
+// short (a frame write, a channel send); long callbacks delay later
+// events, not the dispatcher.
+func (w *Wheel) runFired() {
+	for e := range w.fire {
+		if e.fn != nil {
+			e.fn()
+		} else {
+			close(e.ch)
 		}
 	}
 }

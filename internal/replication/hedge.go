@@ -1,0 +1,149 @@
+package replication
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/rpc"
+)
+
+// Hedged issues each RPC to a primary replica and, when the response has
+// not arrived within Delay, re-issues it to another replica — the classic
+// tail-latency hedge over the replica sets this package's Advise sizes.
+// The first response wins; a failed primary fails over to a replica
+// immediately. Sparse shards are stateless (Section III-A1), so replicas
+// answer identically and duplicated work is the only cost.
+//
+// Hedged implements rpc.Caller, so the engine's RPC operators hedge
+// without knowing: cluster wiring hands the engine a Hedged instead of a
+// bare client.
+type Hedged struct {
+	// Replicas are callers to identical servers; Replicas[0] is primary.
+	Replicas []rpc.Caller
+	// Delay is how long to wait on the primary before hedging. <= 0
+	// disables hedging (failover still applies).
+	Delay time.Duration
+
+	next      atomic.Uint64 // rotates the hedge target
+	hedges    atomic.Int64
+	wins      atomic.Int64
+	failovers atomic.Int64
+}
+
+// NewHedged builds a hedged caller; it requires at least one replica.
+func NewHedged(replicas []rpc.Caller, delay time.Duration) (*Hedged, error) {
+	if len(replicas) == 0 {
+		return nil, fmt.Errorf("replication: hedged caller needs at least one replica")
+	}
+	return &Hedged{Replicas: replicas, Delay: delay}, nil
+}
+
+// Hedges reports how many hedge requests were issued (failovers
+// included).
+func (h *Hedged) Hedges() int64 { return h.hedges.Load() }
+
+// Wins reports how many delay-triggered hedges answered before the
+// primary — the measure of tail latency actually cut. Failover
+// successes are counted separately (Failovers), not here.
+func (h *Hedged) Wins() int64 { return h.wins.Load() }
+
+// Failovers reports how many calls were re-issued because the primary
+// failed outright (as opposed to being slow).
+func (h *Hedged) Failovers() int64 { return h.failovers.Load() }
+
+// Go implements rpc.Caller.
+func (h *Hedged) Go(req *rpc.Request) *rpc.Call {
+	primary := h.Replicas[0].Go(req)
+	if len(h.Replicas) == 1 {
+		return primary
+	}
+	out := &rpc.Call{Req: req, Done: make(chan struct{})}
+	go h.race(req, primary, out)
+	return out
+}
+
+// race resolves out with the first usable response from the primary or a
+// hedge replica. Using one call id on two connections is safe: pending
+// call tables are per connection.
+func (h *Hedged) race(req *rpc.Request, primary *rpc.Call, out *rpc.Call) {
+	var hedgeAfter <-chan struct{} // nil never fires: failover-only mode
+	if h.Delay > 0 {
+		hedgeAfter = netsim.After(h.Delay)
+	}
+	var hedge *rpc.Call
+	select {
+	case <-primary.Done:
+		if primary.Err == nil {
+			finish(out, primary)
+			return
+		}
+		// Primary failed outright: fail over without waiting for Delay.
+		// Not a hedge win — no race was run, no tail latency cut.
+		h.failovers.Add(1)
+		hedge = h.issueHedge(req)
+		<-hedge.Done
+		finish(out, hedge)
+		return
+	case <-hedgeAfter:
+		hedge = h.issueHedge(req)
+	}
+
+	// Both in flight: first success wins; two failures surface the
+	// primary's error.
+	select {
+	case <-primary.Done:
+		if primary.Err == nil {
+			finish(out, primary)
+			return
+		}
+		<-hedge.Done
+		if hedge.Err == nil {
+			h.wins.Add(1)
+			finish(out, hedge)
+			return
+		}
+		finish(out, primary)
+	case <-hedge.Done:
+		if hedge.Err == nil {
+			h.wins.Add(1)
+			finish(out, hedge)
+			return
+		}
+		<-primary.Done
+		finish(out, primary)
+	}
+}
+
+// CallSync issues req and blocks for the (possibly hedged) response.
+func (h *Hedged) CallSync(req *rpc.Request) (*rpc.Response, error) {
+	call := h.Go(req)
+	<-call.Done
+	return call.Resp, call.Err
+}
+
+// issueHedge sends req to the next replica in rotation.
+func (h *Hedged) issueHedge(req *rpc.Request) *rpc.Call {
+	h.hedges.Add(1)
+	idx := 1 + int(h.next.Add(1))%(len(h.Replicas)-1)
+	return h.Replicas[idx].Go(req)
+}
+
+func finish(out *rpc.Call, from *rpc.Call) {
+	out.Resp, out.Err = from.Resp, from.Err
+	close(out.Done)
+}
+
+// Close implements rpc.Caller, closing every replica connection.
+func (h *Hedged) Close() error {
+	var firstErr error
+	for _, r := range h.Replicas {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+var _ rpc.Caller = (*Hedged)(nil)

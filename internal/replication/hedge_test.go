@@ -1,0 +1,120 @@
+package replication
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+// fakeCaller completes calls after a fixed delay, tagging responses so
+// tests can see which replica answered.
+type fakeCaller struct {
+	tag   byte
+	delay time.Duration
+	err   error
+	calls atomic.Int64
+}
+
+func (f *fakeCaller) Go(req *rpc.Request) *rpc.Call {
+	f.calls.Add(1)
+	call := &rpc.Call{Req: req, Done: make(chan struct{})}
+	go func() {
+		if f.delay > 0 {
+			time.Sleep(f.delay)
+		}
+		if f.err != nil {
+			call.Err = f.err
+		} else {
+			call.Resp = &rpc.Response{CallID: req.CallID, Body: []byte{f.tag}}
+		}
+		close(call.Done)
+	}()
+	return call
+}
+
+func (f *fakeCaller) Close() error { return nil }
+
+func hedged(t *testing.T, delay time.Duration, replicas ...rpc.Caller) *Hedged {
+	t.Helper()
+	h, err := NewHedged(replicas, delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHedgeFastPrimaryNoHedge(t *testing.T) {
+	primary := &fakeCaller{tag: 1}
+	replica := &fakeCaller{tag: 2}
+	h := hedged(t, 50*time.Millisecond, primary, replica)
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if err != nil || resp.Body[0] != 1 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if h.Hedges() != 0 || replica.calls.Load() != 0 {
+		t.Errorf("fast primary must not hedge (hedges=%d)", h.Hedges())
+	}
+}
+
+func TestHedgeCutsSlowPrimary(t *testing.T) {
+	primary := &fakeCaller{tag: 1, delay: 100 * time.Millisecond}
+	replica := &fakeCaller{tag: 2}
+	h := hedged(t, 5*time.Millisecond, primary, replica)
+	start := time.Now()
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if err != nil || resp.Body[0] != 2 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed > 60*time.Millisecond {
+		t.Errorf("hedged call took %v; the replica should have answered first", elapsed)
+	}
+	if h.Hedges() != 1 || h.Wins() != 1 {
+		t.Errorf("hedges = %d wins = %d, want 1/1", h.Hedges(), h.Wins())
+	}
+}
+
+func TestHedgeFailsOverImmediately(t *testing.T) {
+	primary := &fakeCaller{tag: 1, err: errors.New("shard down")}
+	replica := &fakeCaller{tag: 2}
+	// Delay far beyond the test: only failover can reach the replica.
+	h := hedged(t, time.Hour, primary, replica)
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if err != nil || resp.Body[0] != 2 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if h.Hedges() != 1 {
+		t.Errorf("hedges = %d, want 1", h.Hedges())
+	}
+}
+
+func TestHedgeSurfacesPrimaryErrorWhenAllFail(t *testing.T) {
+	primErr := errors.New("primary down")
+	primary := &fakeCaller{tag: 1, delay: 10 * time.Millisecond, err: primErr}
+	replica := &fakeCaller{tag: 2, err: errors.New("replica down")}
+	h := hedged(t, time.Millisecond, primary, replica)
+	_, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if !errors.Is(err, primErr) {
+		t.Fatalf("err = %v, want primary's", err)
+	}
+}
+
+func TestHedgeSingleReplicaPassthrough(t *testing.T) {
+	primary := &fakeCaller{tag: 1, delay: time.Millisecond}
+	h := hedged(t, time.Microsecond, primary)
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if err != nil || resp.Body[0] != 1 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if h.Hedges() != 0 {
+		t.Errorf("single replica cannot hedge")
+	}
+}
+
+func TestNewHedgedRejectsEmpty(t *testing.T) {
+	if _, err := NewHedged(nil, time.Millisecond); err == nil {
+		t.Fatal("empty replica set must be rejected")
+	}
+}

@@ -35,6 +35,17 @@ func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
 // ErrClientClosed reports use of a closed client.
 var ErrClientClosed = errors.New("rpc: client closed")
 
+// Caller issues asynchronous RPCs. *Client is the plain implementation;
+// replication.Hedged layers tail-latency hedging over a set of replica
+// Callers without the call sites knowing.
+type Caller interface {
+	// Go issues req asynchronously; the returned Call's Done channel
+	// closes on completion.
+	Go(req *Request) *Call
+	// Close releases the caller's connections.
+	Close() error
+}
+
 // DefaultPoolSize is the number of TCP connections a client multiplexes
 // over. One connection serializes frame writes and response reads; a
 // small pool keeps high fan-out configurations (8 shards × several

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -42,6 +44,46 @@ type ServerConfig struct {
 	// ComputeScale stretches BoilerplateCost (and is the hook the slower
 	// SC-Small platform uses); 0 means 1.0.
 	ComputeScale float64
+	// MaxInFlight bounds concurrently dispatched requests; excess
+	// requests are answered immediately with an overload error rather
+	// than queued — the transport-level backpressure signal an SLA-aware
+	// caller books as a fallback. 0 means unbounded.
+	MaxInFlight int
+}
+
+// OverloadMsgPrefix starts every overload rejection's wire message;
+// remote errors travel as strings, so the prefix is the contract
+// IsOverload (and serve's fallback accounting) keys on.
+const OverloadMsgPrefix = "overloaded:"
+
+// ShedMsgPrefix starts every application-level load-shed rejection's
+// wire message (the serving frontend's SLA drops). It lives here, next
+// to OverloadMsgPrefix, because both are wire contracts of this RPC
+// error channel: frontend builds its errors from it and serve's
+// fallback accounting keys on it — one definition, no drift.
+const ShedMsgPrefix = "shed:"
+
+// IsShed reports whether err is an application-level load-shed
+// rejection relayed by a remote handler.
+func IsShed(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, ShedMsgPrefix)
+}
+
+// IsOverload reports whether err is a server-side overload rejection.
+func IsOverload(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && strings.HasPrefix(re.Msg, OverloadMsgPrefix)
+}
+
+// ServerStats exposes the server's load gauges.
+type ServerStats struct {
+	// InFlight is the number of requests currently dispatched.
+	InFlight int64
+	// PeakInFlight is the high-water mark since start.
+	PeakInFlight int64
+	// Overloads counts requests rejected by the MaxInFlight bound.
+	Overloads int64
 }
 
 // Server accepts framed RPC connections and dispatches requests to a
@@ -51,6 +93,10 @@ type Server struct {
 	cfg     ServerConfig
 	handler Handler
 	lis     net.Listener
+
+	inFlight  atomic.Int64
+	peak      atomic.Int64
+	overloads atomic.Int64
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -72,6 +118,15 @@ func NewServer(addr string, h Handler, cfg ServerConfig) (*Server, error) {
 
 // Addr returns the server's bound address.
 func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Stats snapshots the server's load gauges.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		InFlight:     s.inFlight.Load(),
+		PeakInFlight: s.peak.Load(),
+		Overloads:    s.overloads.Load(),
+	}
+}
 
 // Close stops accepting, closes all connections, and waits for in-flight
 // handlers to drain.
@@ -151,6 +206,27 @@ func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, payload []byte) {
 	}
 	ctx := trace.Context{TraceID: req.TraceID, CallID: req.CallID}
 
+	// Admission at the transport: beyond MaxInFlight the server sheds
+	// instead of queueing, so overload surfaces to the caller while its
+	// SLA budget can still buy a fallback elsewhere.
+	n := s.inFlight.Add(1)
+	if max := int64(s.cfg.MaxInFlight); max > 0 && n > max {
+		// Release the slot before writing the rejection: a rejected
+		// request must not occupy a phantom slot while its answer is
+		// encoded and written, or a rejection storm sheds requests that
+		// are actually within the bound.
+		s.inFlight.Add(-1)
+		s.overloads.Add(1)
+		s.answer(conn, writeMu, &Response{
+			CallID: req.CallID,
+			Err:    fmt.Sprintf("%s %d requests in flight (max %d)", OverloadMsgPrefix, n, max),
+		})
+		return
+	}
+	defer s.inFlight.Add(-1)
+	for peak := s.peak.Load(); n > peak && !s.peak.CompareAndSwap(peak, n); peak = s.peak.Load() {
+	}
+
 	// Service boilerplate: context setup plus the modeled Thrift stack
 	// cost. Burned as real CPU so compute accounting sees it.
 	burn(s.scaledBoilerplate())
@@ -188,6 +264,25 @@ func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, payload []byte) {
 		})
 	}
 
+	s.writeOut(conn, writeMu, out)
+}
+
+// answer encodes and writes one response frame directly, bypassing the
+// handler path — the overload rejection's exit. The response link's
+// delay still applies: a shed answer rides the same wire home.
+func (s *Server) answer(conn net.Conn, writeMu *sync.Mutex, resp *Response) {
+	out, err := EncodeResponse(resp)
+	if err != nil {
+		log.Printf("rpc: encode response: %v", err)
+		return
+	}
+	s.writeOut(conn, writeMu, out)
+}
+
+// writeOut writes one encoded response frame, applying the response
+// link's delay when configured — the single exit path for normal and
+// shed answers alike.
+func (s *Server) writeOut(conn net.Conn, writeMu *sync.Mutex, out []byte) {
 	write := func() {
 		writeMu.Lock()
 		err := writeFrame(conn, out)

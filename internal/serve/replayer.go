@@ -35,10 +35,35 @@ type Result struct {
 	Sent      int
 	Errors    []error
 	ClientE2E []time.Duration
+	// Fallbacks counts requests the serving side deliberately shed — the
+	// paper's "dropped in favor of a potentially lower quality
+	// recommendation result". They are intentional quality degradation
+	// under load, not hard failures, and are booked separately.
+	Fallbacks int
 }
 
-// Failed returns the number of failed requests.
+// Failed returns the number of failed requests (fallbacks excluded).
 func (r *Result) Failed() int { return len(r.Errors) }
+
+// IsFallback reports whether err is a deliberate load-shed rejection —
+// a frontend shed (rpc.ShedMsgPrefix) or a transport overload
+// rejection — as opposed to a hard failure.
+func IsFallback(err error) bool {
+	return rpc.IsOverload(err) || rpc.IsShed(err)
+}
+
+// record books one response into the result (caller holds any lock).
+func (r *Result) record(d time.Duration, err error) {
+	r.Sent++
+	switch {
+	case err == nil:
+		r.ClientE2E = append(r.ClientE2E, d)
+	case IsFallback(err):
+		r.Fallbacks++
+	default:
+		r.Errors = append(r.Errors, err)
+	}
+}
 
 // send issues one request and waits for its response.
 func (rp *Replayer) send(req *workload.Request) (time.Duration, error) {
@@ -71,12 +96,7 @@ func (rp *Replayer) RunSerial(reqs []*workload.Request) *Result {
 	res := &Result{}
 	for _, req := range reqs {
 		d, err := rp.send(req)
-		res.Sent++
-		if err != nil {
-			res.Errors = append(res.Errors, err)
-			continue
-		}
-		res.ClientE2E = append(res.ClientE2E, d)
+		res.record(d, err)
 	}
 	return res
 }
@@ -106,12 +126,7 @@ func (rp *Replayer) RunOpenLoop(reqs []*workload.Request, qps float64) *Result {
 			d, err := rp.send(req)
 			mu.Lock()
 			defer mu.Unlock()
-			res.Sent++
-			if err != nil {
-				res.Errors = append(res.Errors, err)
-				return
-			}
-			res.ClientE2E = append(res.ClientE2E, d)
+			res.record(d, err)
 		}(req)
 	}
 	wg.Wait()

@@ -124,3 +124,87 @@ func TestScoreCountValidation(t *testing.T) {
 		t.Fatalf("score-count mismatch not detected: %+v", res)
 	}
 }
+
+func TestIsFallback(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&rpc.RemoteError{Msg: "shed: queue full (64 deep)"}, true},
+		{&rpc.RemoteError{Msg: rpc.OverloadMsgPrefix + " 9 in flight"}, true},
+		{&rpc.RemoteError{Msg: "core: table 3 unserved"}, false},
+		{errors.New("shed: not a remote error"), false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsFallback(c.err); got != c.want {
+			t.Errorf("IsFallback(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestReplayerBooksFallbacksSeparately(t *testing.T) {
+	// A shed response is a fallback, not a hard failure.
+	shedding := rpc.HandlerFunc(func(ctx trace.Context, method string, body []byte) ([]byte, error) {
+		req, err := core.DecodeRankingRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		if req.ID%2 == 0 {
+			return nil, errors.New("shed: request dropped for SLA fallback")
+		}
+		return core.EncodeRankingResponse(&core.RankingResponse{Scores: make([]float32, req.Items)}), nil
+	})
+	client := startFake(t, shedding)
+	res := NewReplayer(client).RunSerial(smallRequests(6))
+	if res.Failed() != 0 {
+		t.Fatalf("sheds booked as failures: %v", res.Errors)
+	}
+	if res.Fallbacks != 3 || len(res.ClientE2E) != 3 || res.Sent != 6 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestRunOpenLoopConcurrentErrors(t *testing.T) {
+	// Failures landing concurrently must all be booked, exactly once.
+	client := startFake(t, &fakeMain{
+		delay:    2 * time.Millisecond,
+		failWhen: func(id uint64) bool { return id%3 == 0 },
+	})
+	const n = 30
+	res := NewReplayer(client).RunOpenLoop(smallRequests(n), 2000)
+	if res.Sent != n {
+		t.Fatalf("sent %d of %d", res.Sent, n)
+	}
+	wantFail := n / 3
+	if res.Failed() != wantFail || len(res.ClientE2E) != n-wantFail {
+		t.Fatalf("failed=%d e2e=%d, want %d/%d", res.Failed(), len(res.ClientE2E), wantFail, n-wantFail)
+	}
+	if res.Fallbacks != 0 {
+		t.Errorf("hard failures misbooked as fallbacks: %d", res.Fallbacks)
+	}
+}
+
+func TestRunOpenLoopMixedFallbacksAndErrors(t *testing.T) {
+	// Concurrent mix of sheds, hard failures, and successes.
+	mixed := rpc.HandlerFunc(func(ctx trace.Context, method string, body []byte) ([]byte, error) {
+		req, err := core.DecodeRankingRequest(body)
+		if err != nil {
+			return nil, err
+		}
+		switch req.ID % 3 {
+		case 0:
+			return nil, errors.New("shed: budget exhausted")
+		case 1:
+			return nil, errors.New("boom")
+		}
+		return core.EncodeRankingResponse(&core.RankingResponse{Scores: make([]float32, req.Items)}), nil
+	})
+	client := startFake(t, mixed)
+	const n = 30
+	res := NewReplayer(client).RunOpenLoop(smallRequests(n), 3000)
+	if res.Sent != n || res.Fallbacks != n/3 || res.Failed() != n/3 || len(res.ClientE2E) != n/3 {
+		t.Fatalf("result = sent %d, fallbacks %d, failed %d, ok %d",
+			res.Sent, res.Fallbacks, res.Failed(), len(res.ClientE2E))
+	}
+}

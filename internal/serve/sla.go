@@ -25,35 +25,47 @@ type Report struct {
 	SLA        SLA
 	Total      int
 	Violations int
-	// AchievedQuantileLatency is the latency at the SLA's target quantile.
+	// Dropped is the subset of Violations the serving side shed
+	// deliberately (admission control / overload), each answered with the
+	// degraded fallback instead of a late result.
+	Dropped int
+	// AchievedQuantileLatency is the latency at the SLA's target quantile
+	// among requests that were actually served.
 	AchievedQuantileLatency time.Duration
-	// Met reports whether the target quantile landed within budget.
+	// Met reports whether the target quantile landed within budget, no
+	// request hard-failed, and the shed fraction stayed inside the
+	// quantile's allowance.
 	Met bool
 	// FallbackRate is the fraction of user requests that would have
 	// received the degraded fallback recommendation.
 	FallbackRate float64
 }
 
-// Evaluate scores client-observed latencies against the SLA. Failed
-// requests count as violations: a dropped request is a fallback served.
+// Evaluate scores client-observed latencies against the SLA. Failed and
+// deliberately shed requests both count as violations — either way the
+// user got the fallback — but only hard failures disqualify the SLA
+// outright; sheds are tolerated up to the target quantile's allowance
+// (a P99 SLA affords 1% fallbacks).
 func (s SLA) Evaluate(res *Result) Report {
-	rep := Report{SLA: s, Total: res.Sent}
+	rep := Report{SLA: s, Total: res.Sent, Dropped: res.Fallbacks}
 	for _, d := range res.ClientE2E {
 		if d > s.Budget {
 			rep.Violations++
 		}
 	}
-	rep.Violations += res.Failed()
+	rep.Violations += res.Failed() + res.Fallbacks
 	sample := stats.NewDurationSample(res.ClientE2E)
 	q := s.TargetQuantile
 	if q <= 0 || q > 1 {
 		q = 0.99
 	}
 	rep.AchievedQuantileLatency = time.Duration(sample.Quantile(q) * float64(time.Second))
-	rep.Met = rep.AchievedQuantileLatency <= s.Budget && res.Failed() == 0
 	if res.Sent > 0 {
 		rep.FallbackRate = float64(rep.Violations) / float64(res.Sent)
 	}
+	rep.Met = rep.AchievedQuantileLatency <= s.Budget &&
+		res.Failed() == 0 &&
+		rep.FallbackRate <= 1-q
 	return rep
 }
 
@@ -63,7 +75,7 @@ func (r Report) String() string {
 	if !r.Met {
 		status = "VIOLATED"
 	}
-	return fmt.Sprintf("SLA %v @ p%.0f: %s (achieved %v, %d/%d fallbacks, %.1f%% fallback rate)",
+	return fmt.Sprintf("SLA %v @ p%.0f: %s (achieved %v, %d/%d fallbacks (%d shed), %.1f%% fallback rate)",
 		r.SLA.Budget, r.SLA.TargetQuantile*100, status,
-		r.AchievedQuantileLatency.Round(time.Microsecond), r.Violations, r.Total, 100*r.FallbackRate)
+		r.AchievedQuantileLatency.Round(time.Microsecond), r.Violations, r.Total, r.Dropped, 100*r.FallbackRate)
 }

@@ -71,3 +71,61 @@ func TestSLAReportString(t *testing.T) {
 		t.Errorf("report string = %q", s)
 	}
 }
+
+func TestSLAEvaluateEmptyResult(t *testing.T) {
+	// No traffic: vacuously met, and no NaN from the 0/0 rate.
+	rep := SLA{Budget: time.Millisecond, TargetQuantile: 0.99}.Evaluate(&Result{})
+	if !rep.Met || rep.Violations != 0 || rep.FallbackRate != 0 || rep.Total != 0 {
+		t.Errorf("empty report = %+v", rep)
+	}
+	if rep.AchievedQuantileLatency != 0 {
+		t.Errorf("achieved latency on empty sample = %v", rep.AchievedQuantileLatency)
+	}
+}
+
+func TestSLAEvaluateAllFailed(t *testing.T) {
+	res := &Result{Sent: 3, Errors: []error{errors.New("a"), errors.New("b"), errors.New("c")}}
+	rep := SLA{Budget: time.Millisecond, TargetQuantile: 0.9}.Evaluate(res)
+	if rep.Met {
+		t.Error("all-failed run cannot meet the SLA")
+	}
+	if rep.Violations != 3 || rep.FallbackRate != 1 {
+		t.Errorf("report = %+v", rep)
+	}
+}
+
+func TestSLAQuantileClamping(t *testing.T) {
+	// Out-of-range target quantiles clamp to P99.
+	res := resultWithLatencies(time.Millisecond, 2*time.Millisecond, 30*time.Millisecond)
+	for _, q := range []float64{-1, 0, 1.5} {
+		rep := SLA{Budget: 50 * time.Millisecond, TargetQuantile: q}.Evaluate(res)
+		// P99 of {1,2,30}ms is near the max; budget comfortably above it.
+		if rep.AchievedQuantileLatency < 20*time.Millisecond {
+			t.Errorf("q=%v: achieved %v, expected a P99-like value", q, rep.AchievedQuantileLatency)
+		}
+	}
+}
+
+func TestSLAFallbacksWithinAllowance(t *testing.T) {
+	// Deliberate sheds are tolerated up to the quantile's allowance: 1 of
+	// 10 at a P50 SLA is fine, 4 of 10 is not. Hard failures never are.
+	fast := make([]time.Duration, 9)
+	for i := range fast {
+		fast[i] = time.Millisecond
+	}
+	res := &Result{Sent: 10, ClientE2E: fast, Fallbacks: 1}
+	rep := SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.5}.Evaluate(res)
+	if !rep.Met || rep.Dropped != 1 || rep.Violations != 1 {
+		t.Errorf("within-allowance report = %+v", rep)
+	}
+
+	res = &Result{Sent: 10, ClientE2E: fast[:6], Fallbacks: 4}
+	if rep := (SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.9}).Evaluate(res); rep.Met {
+		t.Errorf("40%% sheds at a P90 SLA must violate: %+v", rep)
+	}
+
+	res = &Result{Sent: 10, ClientE2E: fast, Errors: []error{errors.New("x")}}
+	if rep := (SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.5}).Evaluate(res); rep.Met {
+		t.Errorf("hard failures must always violate: %+v", rep)
+	}
+}
