@@ -147,6 +147,10 @@ func BenchmarkReplicationEconomics(b *testing.B) { runExperiment(b, "repl") }
 // window against offered QPS (throughput/P99/fallback frontier).
 func BenchmarkFrontierServing(b *testing.B) { runExperiment(b, "front") }
 
+// BenchmarkReshardOnline regenerates the online-resharding sweep: load
+// drift × move budget, with the mid-migration score-identity check.
+func BenchmarkReshardOnline(b *testing.B) { runExperiment(b, "reshard") }
+
 // nopExec is a zero-cost executor isolating the serving frontend's own
 // hot path (queue, gather, admission, demux) from engine time.
 type nopExec struct{}
@@ -209,7 +213,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig3", "fig4", "fig5", "tab2", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab3",
-		"repl", "front",
+		"repl", "front", "reshard",
 	}
 	all := experiments.All()
 	if len(all) != len(want) {

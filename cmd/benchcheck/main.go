@@ -1,0 +1,167 @@
+// Command benchcheck turns `go test -bench` output into a JSON
+// benchmark manifest and gates CI on regressions against a committed
+// baseline.
+//
+// Modes:
+//
+//	benchcheck -in bench.out -out BENCH_ci.json                      # parse only
+//	benchcheck -in bench.out -out BENCH_baseline.json -update        # (re)write the baseline
+//	benchcheck -in bench.out -out BENCH_ci.json \
+//	    -baseline BENCH_baseline.json -threshold 1.25                # gate: fail >25% slower
+//
+// Comparison keys on ns/op per benchmark name (GOMAXPROCS suffix
+// stripped, so a differently-sized CI runner still matches names).
+// Benchmarks present on only one side are reported but never fail the
+// gate — adding or retiring a benchmark is not a regression.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchLine matches e.g. "BenchmarkFoo-8   123   4567 ns/op   89 B/op".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op`)
+
+// Result is one benchmark's manifest entry.
+type Result struct {
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "benchmark output to parse (default stdin)")
+		out       = flag.String("out", "", "JSON manifest to write")
+		baseline  = flag.String("baseline", "", "baseline manifest to gate against (optional)")
+		threshold = flag.Float64("threshold", 1.25, "fail when current ns/op exceeds baseline × threshold")
+		update    = flag.Bool("update", false, "treat -out as a fresh baseline (no gating)")
+	)
+	flag.Parse()
+
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	current, err := parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found"))
+	}
+	if *out != "" {
+		if err := writeManifest(*out, current); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(current), *out)
+	}
+	if *update || *baseline == "" {
+		return
+	}
+
+	base, err := readManifest(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	var regressions, improved, onlyOne []string
+	for _, name := range sortedNames(current) {
+		cur := current[name]
+		b, ok := base[name]
+		if !ok {
+			onlyOne = append(onlyOne, name+" (new)")
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		switch {
+		case ratio > *threshold:
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx > %.2fx)",
+				name, b.NsPerOp, cur.NsPerOp, ratio, *threshold))
+		case ratio < 1/(*threshold):
+			improved = append(improved, fmt.Sprintf("%s: %.2fx faster", name, 1/ratio))
+		}
+	}
+	for _, name := range sortedNames(base) {
+		if _, ok := current[name]; !ok {
+			onlyOne = append(onlyOne, name+" (removed)")
+		}
+	}
+	for _, s := range improved {
+		fmt.Println("benchcheck: improved:", s)
+	}
+	for _, s := range onlyOne {
+		fmt.Println("benchcheck: unmatched:", s)
+	}
+	if len(regressions) > 0 {
+		for _, s := range regressions {
+			fmt.Fprintln(os.Stderr, "benchcheck: REGRESSION:", s)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within %.2fx of baseline\n", len(current), *threshold)
+}
+
+func parse(f *os.File) (map[string]Result, error) {
+	out := make(map[string]Result)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.Atoi(m[2])
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = Result{Iterations: iters, NsPerOp: ns}
+	}
+	return out, sc.Err()
+}
+
+func readManifest(path string) (map[string]Result, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out map[string]Result
+	if err := json.Unmarshal(b, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func writeManifest(path string, results map[string]Result) error {
+	b, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+func sortedNames(m map[string]Result) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchcheck:", err)
+	os.Exit(1)
+}

@@ -57,6 +57,11 @@ func main() {
 		slaBudget = flag.Duration("sla", 0, "per-request SLA budget for admission control (enables the serving frontend)")
 		hedge     = flag.Duration("hedge", 0, "hedge sparse RPCs against a peer replica after this delay (needs repeated -peers names)")
 		maxInFly  = flag.Int("max-inflight", 0, "main role: reject requests beyond this many in flight (0 = unbounded)")
+
+		// Online resharding (main role): periodically collect the sparse
+		// shards' measured load and migrate tables live toward balance.
+		rebalEvery = flag.Duration("rebalance-every", 0, "main role: run a capacity-driven rebalance pass at this interval (0 disables)")
+		moveBudget = flag.Int("move-budget", 4, "max table moves per rebalance pass")
 	)
 	flag.Parse()
 
@@ -99,12 +104,14 @@ func main() {
 		srv, err = serveSparse(m, plan, *shardNum, *listen, *netDelay)
 	case "main":
 		opts := mainOptions{
-			batchWait:   *batchWait,
-			batchReqs:   *batchReqs,
-			maxQueue:    *maxQueue,
-			sla:         *slaBudget,
-			hedge:       *hedge,
-			maxInFlight: *maxInFly,
+			batchWait:      *batchWait,
+			batchReqs:      *batchReqs,
+			maxQueue:       *maxQueue,
+			sla:            *slaBudget,
+			hedge:          *hedge,
+			maxInFlight:    *maxInFly,
+			rebalanceEvery: *rebalEvery,
+			moveBudget:     *moveBudget,
 		}
 		srv, shutdown, err = serveMain(m, plan, *listen, *peers, *netDelay, opts)
 	default:
@@ -174,12 +181,14 @@ func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, 
 
 // mainOptions carries the main role's serving-frontend tuning.
 type mainOptions struct {
-	batchWait   time.Duration
-	batchReqs   int
-	maxQueue    int
-	sla         time.Duration
-	hedge       time.Duration
-	maxInFlight int
+	batchWait      time.Duration
+	batchReqs      int
+	maxQueue       int
+	sla            time.Duration
+	hedge          time.Duration
+	maxInFlight    int
+	rebalanceEvery time.Duration
+	moveBudget     int
 }
 
 // frontendEnabled reports whether any SLA-frontend flag was set.
@@ -261,6 +270,60 @@ func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bo
 	if err != nil {
 		shutdown()
 		return nil, nil, err
+	}
+
+	if opts.rebalanceEvery > 0 && plan.IsDistributed() {
+		mg := &core.Migrator{Engine: eng, Rec: rec, Shards: make(map[int]core.ShardEndpoint)}
+		for i := 1; i <= plan.NumShards; i++ {
+			name := core.ServiceName(i)
+			addrs := peerAddrs[name]
+			if len(addrs) == 0 {
+				shutdown()
+				srv.Close()
+				return nil, nil, fmt.Errorf("-rebalance-every needs every shard in -peers; %s missing", name)
+			}
+			if len(addrs) > 1 {
+				// Standalone replicas are separate processes with separate
+				// table stores; migrating only the primary would leave the
+				// replicas stale and turn every hedge into a miss. (The
+				// in-process cluster is exempt: its replicas share one
+				// store.)
+				shutdown()
+				srv.Close()
+				return nil, nil, fmt.Errorf("-rebalance-every does not support hedge replicas yet (%s has %d addresses)", name, len(addrs))
+			}
+			// Control-plane calls go over a dedicated plain connection to
+			// the primary: the serving caller may be hedged, and hedging a
+			// migrate.commit would re-issue it against the same store.
+			ctrl, err := rpc.DialPool(addrs[0], nil, 1)
+			if err != nil {
+				shutdown()
+				srv.Close()
+				return nil, nil, err
+			}
+			mg.Shards[i] = core.ShardEndpoint{Service: name, Addr: addrs[0], Caller: ctrl}
+		}
+		stop := make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(opts.rebalanceEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					report, err := mg.Rebalance(sharding.RebalanceOptions{MoveBudget: opts.moveBudget})
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "drmserve: rebalance:", err)
+						continue
+					}
+					fmt.Println("drmserve:", report)
+				}
+			}
+		}()
+		prev := shutdown
+		shutdown = func() { close(stop); prev() }
+		fmt.Printf("drmserve: online resharding every %v (move budget %d)\n", opts.rebalanceEvery, opts.moveBudget)
 	}
 	return srv, shutdown, nil
 }

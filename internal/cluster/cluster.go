@@ -70,7 +70,17 @@ type Cluster struct {
 
 	mainServer *rpc.Server
 	sparse     []*rpc.Server
+	shards     []*core.SparseShard
 	clients    map[string]rpc.Caller
+	// ctrlClients are plain (never hedged) connections the rebalancer's
+	// control plane uses: hedging a migrate.commit would re-issue it to a
+	// replica sharing the same table store and trip the protocol's
+	// commit-without-begin guard.
+	ctrlClients map[string]*rpc.Client
+
+	// rebalanceMu serializes Rebalance passes (concurrent passes would
+	// plan against each other's in-flight moves).
+	rebalanceMu sync.Mutex
 }
 
 // gcTuneOnce relaxes the collector for measurement runs: the request
@@ -98,12 +108,13 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	}
 
 	c := &Cluster{
-		Model:     m,
-		Plan:      plan,
-		Registry:  rpc.NewRegistry(),
-		Collector: trace.NewCollector(),
-		clients:   make(map[string]rpc.Caller),
-		Hedged:    make(map[string]*replication.Hedged),
+		Model:       m,
+		Plan:        plan,
+		Registry:    rpc.NewRegistry(),
+		Collector:   trace.NewCollector(),
+		clients:     make(map[string]rpc.Caller),
+		ctrlClients: make(map[string]*rpc.Client),
+		Hedged:      make(map[string]*replication.Hedged),
 	}
 	c.MainRec = trace.NewRecorder("main", opts.SpanCapacity)
 	c.Collector.Attach(c.MainRec)
@@ -128,6 +139,7 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.shards = shards
 		for i, sh := range shards {
 			sh.OpComputeScale = plat.OpComputeScale
 			// Replica servers share the shard's table store and recorder:
@@ -257,6 +269,56 @@ func (c *Cluster) KillSparse(i int) {
 	}
 }
 
+// Shards exposes the sparse shard services (nil for singular plans) —
+// tests and the rebalancer introspect epochs and load summaries.
+func (c *Cluster) Shards() []*core.SparseShard { return c.shards }
+
+// Migrator builds the online-resharding driver for this deployment,
+// addressing every sparse shard's primary server.
+func (c *Cluster) Migrator() (*core.Migrator, error) {
+	if !c.Plan.IsDistributed() {
+		return nil, fmt.Errorf("cluster: singular deployments have nothing to reshard")
+	}
+	mg := &core.Migrator{Engine: c.Engine, Rec: c.MainRec, Shards: make(map[int]core.ShardEndpoint)}
+	for i := 0; i < c.Plan.NumShards; i++ {
+		name := core.ServiceName(i + 1)
+		addr, err := c.Registry.Lookup(name)
+		if err != nil {
+			return nil, err
+		}
+		caller, ok := c.ctrlClients[name]
+		if !ok {
+			caller, err = rpc.DialPool(addr, nil, 1)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: dialing control plane for %s: %w", name, err)
+			}
+			c.ctrlClients[name] = caller
+		}
+		mg.Shards[i+1] = core.ShardEndpoint{Service: name, Addr: addr, Caller: caller}
+	}
+	return mg, nil
+}
+
+// Rebalance runs one observe→plan→migrate→cutover pass against the
+// shards' measured load, usable mid-replay: requests keep flowing while
+// rows stream and the routing swap is atomic. The cluster's Plan field
+// tracks the target so later passes (and introspection) see the current
+// placement.
+func (c *Cluster) Rebalance(opts sharding.RebalanceOptions) (*core.RebalanceReport, error) {
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+	mg, err := c.Migrator()
+	if err != nil {
+		return nil, err
+	}
+	report, err := mg.Rebalance(opts)
+	if err != nil {
+		return nil, err
+	}
+	c.Plan = report.Plan.Target
+	return report, nil
+}
+
 // MainStats snapshots the main server's backpressure gauges.
 func (c *Cluster) MainStats() rpc.ServerStats {
 	if c.mainServer == nil {
@@ -279,7 +341,13 @@ func (c *Cluster) Close() {
 	for _, cl := range c.clients {
 		cl.Close()
 	}
+	for _, cl := range c.ctrlClients {
+		cl.Close()
+	}
 	for _, s := range c.sparse {
 		s.Close()
+	}
+	for _, sh := range c.shards {
+		sh.Close()
 	}
 }

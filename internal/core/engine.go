@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/embedding"
 	"repro/internal/model"
@@ -34,16 +35,28 @@ type EngineConfig struct {
 // Engine executes ranking requests for one model under one sharding plan.
 // It is the main shard: dense layers run locally; sparse operators either
 // run in-line (singular) or fan out through asynchronous RPC operators.
-// Engines are safe for concurrent Execute calls.
+// Engines are safe for concurrent Execute calls, and the plan can be
+// swapped live via Reroute: each request reads the program pointer once,
+// so a rebalance cutover flips routing between requests, never within
+// one.
 type Engine struct {
 	model *model.Model
-	plan  *sharding.Plan
 	cfg   EngineConfig
-	nets  []*netProgram
+	// prog holds the compiled (plan, nets) program; Reroute swaps it
+	// atomically under rerouteMu.
+	prog      atomic.Pointer[engineProgram]
+	rerouteMu sync.Mutex
 	// rawNames[tid] / hashedNames[tid] are the workspace bag blob names,
 	// precomputed so per-batch op assembly does no string formatting.
 	rawNames    []string
 	hashedNames []string
+}
+
+// engineProgram is one compiled routing generation: the plan and its
+// per-net programs, swapped as a unit.
+type engineProgram struct {
+	plan *sharding.Plan
+	nets []*netProgram
 }
 
 // netProgram is the compiled form of one net under the plan. Static
@@ -92,16 +105,44 @@ func NewEngine(m *model.Model, plan *sharding.Plan, cfg EngineConfig) (*Engine, 
 	if cfg.Recorder == nil {
 		return nil, fmt.Errorf("core: engine requires a recorder")
 	}
-	if err := plan.Validate(&m.Config); err != nil {
-		return nil, fmt.Errorf("core: invalid plan: %w", err)
-	}
-	e := &Engine{model: m, plan: plan, cfg: cfg}
+	e := &Engine{model: m, cfg: cfg}
 	e.rawNames = make([]string, len(m.Config.Tables))
 	e.hashedNames = make([]string, len(m.Config.Tables))
 	for i := range m.Config.Tables {
 		e.rawNames[i] = fmt.Sprintf("raw_%d", i)
 		e.hashedNames[i] = fmt.Sprintf("hashed_%d", i)
 	}
+	prog, err := e.compile(plan)
+	if err != nil {
+		return nil, err
+	}
+	e.prog.Store(prog)
+	return e, nil
+}
+
+// Reroute recompiles the engine against a new sharding plan and swaps it
+// in atomically — the main-shard half of an online-resharding cutover.
+// Requests already executing keep the old routing; the shards they hit
+// double-read or forward during the migration grace window, so no
+// request observes a torn placement.
+func (e *Engine) Reroute(plan *sharding.Plan) error {
+	e.rerouteMu.Lock()
+	defer e.rerouteMu.Unlock()
+	prog, err := e.compile(plan)
+	if err != nil {
+		return fmt.Errorf("core: reroute: %w", err)
+	}
+	e.prog.Store(prog)
+	return nil
+}
+
+// compile builds one routing generation for a plan.
+func (e *Engine) compile(plan *sharding.Plan) (*engineProgram, error) {
+	m := e.model
+	if err := plan.Validate(&m.Config); err != nil {
+		return nil, fmt.Errorf("core: invalid plan: %w", err)
+	}
+	prog := &engineProgram{plan: plan}
 	prevOut := ""
 	for i, ns := range m.Config.Nets {
 		np := &netProgram{
@@ -127,10 +168,10 @@ func NewEngine(m *model.Model, plan *sharding.Plan, cfg EngineConfig) (*Engine, 
 			np.pooledNames[id] = fmt.Sprintf("pooled_%s_%d", ns.Name, id)
 		}
 		if plan.IsDistributed() {
-			if cfg.ClientFor == nil {
+			if e.cfg.ClientFor == nil {
 				return nil, fmt.Errorf("core: distributed plan requires ClientFor")
 			}
-			if err := compileRemote(np, plan, cfg.ClientFor); err != nil {
+			if err := compileRemote(np, plan, e.cfg.ClientFor); err != nil {
 				return nil, err
 			}
 		} else {
@@ -138,11 +179,11 @@ func NewEngine(m *model.Model, plan *sharding.Plan, cfg EngineConfig) (*Engine, 
 				np.sources[t.ID] = 1
 			}
 		}
-		e.compileOps(np, prevOut)
+		e.compileOps(plan, np, prevOut)
 		prevOut = np.outBlob
-		e.nets = append(e.nets, np)
+		prog.nets = append(prog.nets, np)
 	}
-	return e, nil
+	return prog, nil
 }
 
 // pickInteract chooses the first k tables sharing the net's tail-table
@@ -207,7 +248,7 @@ func compileRemote(np *netProgram, plan *sharding.Plan, clientFor func(string) (
 }
 
 // compileOps builds the static (batch-shareable) operator lists.
-func (e *Engine) compileOps(np *netProgram, prevOut string) {
+func (e *Engine) compileOps(plan *sharding.Plan, np *netProgram, prevOut string) {
 	netName := np.spec.Name
 
 	// --- preOps: dense preprocessing, bottom MLP, hashing. ---
@@ -244,7 +285,7 @@ func (e *Engine) compileOps(np *netProgram, prevOut string) {
 	// --- in-line fused SLS for the singular configuration. The output
 	// blob is materialized by a separate Fill operator, as Caffe2 does,
 	// so storage cost attributes to Fill rather than Sparse. ---
-	if !e.plan.IsDistributed() {
+	if !plan.IsDistributed() {
 		np.preOps = append(np.preOps, &nn.AllocEmb{
 			OpName: "fill_emb_" + netName, RowsFrom: e.rawNames[np.tables[0].ID],
 			Cols: np.embCols, Output: np.embBlob,
@@ -314,8 +355,11 @@ func (e *Engine) BatchSize() int {
 	return e.model.Config.DefaultBatch
 }
 
-// Plan returns the engine's sharding plan.
-func (e *Engine) Plan() *sharding.Plan { return e.plan }
+// Plan returns the engine's current sharding plan.
+func (e *Engine) Plan() *sharding.Plan { return e.prog.Load().plan }
+
+// Config returns the engine's model configuration.
+func (e *Engine) Config() *model.Config { return &e.model.Config }
 
 // Validate checks a request's shape against the model without running it.
 func (e *Engine) Validate(req *RankingRequest) error {
@@ -351,6 +395,9 @@ func (e *Engine) Execute(ctx trace.Context, req *RankingRequest) ([]float32, err
 // executeValidated is Execute after shape validation: batch-level
 // parallel execution of one (possibly coalesced) request.
 func (e *Engine) executeValidated(ctx trace.Context, req *RankingRequest) ([]float32, error) {
+	// One program load per request: every batch of this request routes
+	// under the same plan generation even if Reroute lands mid-flight.
+	prog := e.prog.Load()
 	items := int(req.Items)
 	b := e.BatchSize()
 	nb := (items + b - 1) / b
@@ -365,7 +412,7 @@ func (e *Engine) executeValidated(ctx trace.Context, req *RankingRequest) ([]flo
 		wg.Add(1)
 		go func(bi, start, end int) {
 			defer wg.Done()
-			out, err := e.runBatch(ctx, req, start, end)
+			out, err := e.runBatch(prog, ctx, req, start, end)
 			if err != nil {
 				errs[bi] = err
 				return
@@ -383,8 +430,8 @@ func (e *Engine) executeValidated(ctx trace.Context, req *RankingRequest) ([]flo
 }
 
 // runBatch executes one batch (items [start, end) of the request) through
-// all nets sequentially.
-func (e *Engine) runBatch(ctx trace.Context, req *RankingRequest, start, end int) ([]float32, error) {
+// all nets sequentially, under one routing generation.
+func (e *Engine) runBatch(prog *engineProgram, ctx trace.Context, req *RankingRequest, start, end int) ([]float32, error) {
 	ws := nn.NewWorkspace()
 	obs := &trace.NetObserver{R: e.cfg.Recorder, Ctx: ctx}
 	batchItems := end - start
@@ -401,7 +448,7 @@ func (e *Engine) runBatch(ctx trace.Context, req *RankingRequest, start, end int
 	}
 
 	var finalOut string
-	for _, np := range e.nets {
+	for _, np := range prog.nets {
 		ops := make([]nn.Op, 0, len(np.preOps)+len(np.remote)+1+len(np.postOps))
 		ops = append(ops, np.preOps...)
 		if np.slsOp != nil {

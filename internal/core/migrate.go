@@ -1,0 +1,236 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/sharding"
+	"repro/internal/trace"
+)
+
+// Migrator drives online resharding over the ordinary RPC channel: it
+// collects measured load summaries from every sparse shard, asks the
+// rebalancer for an incremental migration plan, streams each move's rows
+// from source to destination while both keep serving, swaps the engine's
+// routing, and finally installs forwards at the sources so requests
+// compiled against the old plan stay correct. Because every step is a
+// wire call, the same driver reshards an in-process cluster and a fleet
+// of standalone drmserve processes.
+type Migrator struct {
+	// Engine is the main shard's engine, rerouted at cutover.
+	Engine *Engine
+	// Shards maps 1-based shard numbers to their primary endpoints.
+	Shards map[int]ShardEndpoint
+	// Rec allocates call ids and records LayerMigration spans.
+	Rec *trace.Recorder
+	// ChunkRows bounds rows per streamed chunk (default 4096).
+	ChunkRows int
+}
+
+// ShardEndpoint addresses one sparse shard's primary server.
+type ShardEndpoint struct {
+	// Service is the registry name ("sparse3").
+	Service string
+	// Addr is the server's dialable address, handed to sources so they
+	// can forward straggler lookups to destinations.
+	Addr string
+	// Caller issues control-plane RPCs to the shard.
+	Caller rpc.Caller
+}
+
+// RebalanceReport summarizes one rebalance pass.
+type RebalanceReport struct {
+	// Load is the merged measured summary the plan was computed from.
+	Load *sharding.LoadSummary
+	// Plan is the migration decision, including Current and Target.
+	Plan *sharding.MigrationPlan
+	// BytesMoved is the row data streamed across shards.
+	BytesMoved int64
+	// Duration covers collection through final forward installation.
+	Duration time.Duration
+}
+
+// Moved reports whether the pass migrated anything.
+func (r *RebalanceReport) Moved() bool { return len(r.Plan.Moves) > 0 }
+
+// String renders the report for logs.
+func (r *RebalanceReport) String() string {
+	if !r.Moved() {
+		return fmt.Sprintf("rebalance: no-op (max shard load %.3g) in %v",
+			r.Plan.MaxLoadBefore, r.Duration.Round(time.Millisecond))
+	}
+	return fmt.Sprintf("rebalance: %d moves, %.1f KiB streamed, max shard load %.3g -> %.3g, in %v",
+		len(r.Plan.Moves), float64(r.BytesMoved)/1024,
+		r.Plan.MaxLoadBefore, r.Plan.MaxLoadAfter, r.Duration.Round(time.Millisecond))
+}
+
+func (mg *Migrator) call(ep ShardEndpoint, method string, body []byte) ([]byte, error) {
+	resp, err := rpc.SyncCall(ep.Caller, &rpc.Request{
+		Method: method, CallID: mg.Rec.NextID(), Body: body,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s %s: %w", ep.Service, method, err)
+	}
+	return resp.Body, nil
+}
+
+// CollectLoad fetches and merges every shard's load summary; reset
+// clears the shards' accumulators so the next window starts fresh.
+func (mg *Migrator) CollectLoad(reset bool) (*sharding.LoadSummary, error) {
+	merged := sharding.NewLoadSummary()
+	body := EncodeLoadRequest(&LoadRequest{Reset: reset})
+	for _, shard := range sortedShardNums(mg.Shards) {
+		out, err := mg.call(mg.Shards[shard], MethodSparseLoad, body)
+		if err != nil {
+			return nil, err
+		}
+		s, err := DecodeLoadSummary(out)
+		if err != nil {
+			return nil, fmt.Errorf("core: sparse%d load summary: %w", shard, err)
+		}
+		merged.Merge(s)
+	}
+	return merged, nil
+}
+
+// Rebalance runs one full observe→plan→migrate→cutover pass and reports
+// what it did. A pass that plans no moves touches nothing.
+func (mg *Migrator) Rebalance(opts sharding.RebalanceOptions) (*RebalanceReport, error) {
+	start := time.Now()
+	load, err := mg.CollectLoad(true)
+	if err != nil {
+		return nil, err
+	}
+	cur := mg.Engine.Plan()
+	mp, err := sharding.Rebalance(mg.Engine.Config(), cur, load, opts)
+	if err != nil {
+		return nil, err
+	}
+	report := &RebalanceReport{Load: load, Plan: mp}
+	if len(mp.Moves) == 0 {
+		report.Duration = time.Since(start)
+		return report, nil
+	}
+
+	// Phase 1: stream every move's rows into destination staging while
+	// both shards keep serving under the current plan. On failure,
+	// best-effort abort the failed move's staging so the destination
+	// does not strand a table-sized buffer (committed moves stay: they
+	// are live tables the next pass can plan around).
+	for _, mv := range mp.Moves {
+		n, err := mg.streamMove(mv)
+		report.BytesMoved += n
+		if err != nil {
+			if dst, ok := mg.Shards[mv.To]; ok {
+				abort := EncodeMigrateCommit(&MigrateCommit{TableID: int32(mv.TableID), PartIndex: int32(mv.PartIndex)})
+				_, _ = mg.call(dst, MethodMigrateAbort, abort)
+			}
+			return nil, err
+		}
+	}
+
+	// Phase 2: cutover. The engine swaps routing first — new requests go
+	// to the destinations, which are live as of commit. Then sources
+	// install forwards (releasing their copies) so requests still
+	// executing under the old program are answered by forwarding; the
+	// window between commit and forward is covered by the source's
+	// retained copy, which is byte-identical because storage is
+	// immutable.
+	if err := mg.Engine.Reroute(mp.Target); err != nil {
+		return nil, err
+	}
+	for _, mv := range mp.Moves {
+		src, dst := mg.Shards[mv.From], mg.Shards[mv.To]
+		fwd := &MigrateForward{
+			TableID: int32(mv.TableID), PartIndex: int32(mv.PartIndex),
+			Service: dst.Service, Addr: dst.Addr, Release: true,
+		}
+		if _, err := mg.call(src, MethodMigrateForward, EncodeMigrateForward(fwd)); err != nil {
+			return nil, err
+		}
+	}
+	report.Duration = time.Since(start)
+	return report, nil
+}
+
+// streamMove copies one placement unit source→destination: probe shape,
+// allocate staging, stream row ranges, commit. Returns bytes streamed.
+func (mg *Migrator) streamMove(mv sharding.Move) (int64, error) {
+	src, ok := mg.Shards[mv.From]
+	if !ok {
+		return 0, fmt.Errorf("core: move %v: no endpoint for source shard %d", mv, mv.From)
+	}
+	dst, ok := mg.Shards[mv.To]
+	if !ok {
+		return 0, fmt.Errorf("core: move %v: no endpoint for destination shard %d", mv, mv.To)
+	}
+	chunkRows := mg.ChunkRows
+	if chunkRows <= 0 {
+		chunkRows = 4096
+	}
+	tid, part := int32(mv.TableID), int32(mv.PartIndex)
+	migStart := mg.Rec.Now()
+
+	// Probe the source for the unit's actual shape (partition row counts
+	// depend on the modulus split; the source knows).
+	out, err := mg.call(src, MethodMigrateRead, EncodeMigrateRead(&MigrateRead{TableID: tid, PartIndex: part}))
+	if err != nil {
+		return 0, err
+	}
+	shape, err := DecodeMigrateReadResponse(out)
+	if err != nil {
+		return 0, err
+	}
+
+	begin := &MigrateBegin{TableID: tid, PartIndex: part, NumParts: int32(mv.NumParts), Rows: shape.Rows, Dim: shape.Dim}
+	if _, err := mg.call(dst, MethodMigrateBegin, EncodeMigrateBegin(begin)); err != nil {
+		return 0, err
+	}
+
+	var moved int64
+	for row := int32(0); row < shape.Rows; row += int32(chunkRows) {
+		count := int32(chunkRows)
+		if row+count > shape.Rows {
+			count = shape.Rows - row
+		}
+		out, err := mg.call(src, MethodMigrateRead, EncodeMigrateRead(&MigrateRead{
+			TableID: tid, PartIndex: part, RowStart: row, RowCount: count,
+		}))
+		if err != nil {
+			return moved, err
+		}
+		chunk, err := DecodeMigrateReadResponse(out)
+		if err != nil {
+			return moved, err
+		}
+		if int32(len(chunk.Data)) != count*shape.Dim {
+			return moved, fmt.Errorf("core: move %v: read %d values for %d rows", mv, len(chunk.Data), count)
+		}
+		push := &MigrateChunk{TableID: tid, PartIndex: part, RowStart: row, Dim: shape.Dim, Data: chunk.Data}
+		if _, err := mg.call(dst, MethodMigrateChunk, EncodeMigrateChunk(push)); err != nil {
+			return moved, err
+		}
+		moved += int64(len(chunk.Data)) * 4
+	}
+
+	if _, err := mg.call(dst, MethodMigrateCommit, EncodeMigrateCommit(&MigrateCommit{TableID: tid, PartIndex: part})); err != nil {
+		return moved, err
+	}
+	mg.Rec.Record(trace.Span{
+		Layer: trace.LayerMigration,
+		Name:  fmt.Sprintf("migrate/move/t%d.%d/%s->%s", mv.TableID, mv.PartIndex, src.Service, dst.Service),
+		Start: migStart, Dur: mg.Rec.Now().Sub(migStart),
+	})
+	return moved, nil
+}
+
+func sortedShardNums(m map[int]ShardEndpoint) []int {
+	out := make([]int, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

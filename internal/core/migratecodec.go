@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sharding"
+)
+
+// Wire codecs for the online-resharding control plane: load-summary
+// collection and the live row-range migration protocol. Same minimal
+// little-endian framing as the serving codecs in codec.go — the control
+// plane rides the ordinary RPC channel, so a standalone deployment
+// (drmserve processes) reshards exactly like the in-process cluster.
+
+// Migration control-plane methods served by SparseShard.Handle.
+const (
+	MethodSparseRun      = "sparse.run"
+	MethodSparseLoad     = "sparse.load"
+	MethodMigrateBegin   = "sparse.migrate.begin"
+	MethodMigrateRead    = "sparse.migrate.read"
+	MethodMigrateChunk   = "sparse.migrate.chunk"
+	MethodMigrateCommit  = "sparse.migrate.commit"
+	MethodMigrateAbort   = "sparse.migrate.abort"
+	MethodMigrateForward = "sparse.migrate.forward"
+)
+
+// LoadRequest asks a shard for its load summary; Reset additionally
+// clears the live accumulator so the next collection window starts
+// fresh.
+type LoadRequest struct {
+	Reset bool
+}
+
+// MigrateBegin tells the destination to allocate staging storage for an
+// incoming table (or row-partition) of Rows×Dim.
+type MigrateBegin struct {
+	TableID   int32
+	PartIndex int32
+	NumParts  int32
+	Rows      int32
+	Dim       int32
+}
+
+// MigrateRead asks the source for RowCount rows of a held table starting
+// at RowStart. RowCount 0 probes shape only.
+type MigrateRead struct {
+	TableID   int32
+	PartIndex int32
+	RowStart  int32
+	RowCount  int32
+}
+
+// MigrateReadResponse returns the requested row range plus the table's
+// full shape so the orchestrator can size the stream without a separate
+// metadata call.
+type MigrateReadResponse struct {
+	Rows int32 // total rows held at the source
+	Dim  int32
+	Data []float32 // RowCount×Dim values starting at RowStart
+}
+
+// MigrateChunk delivers one row range into the destination's staging
+// table.
+type MigrateChunk struct {
+	TableID   int32
+	PartIndex int32
+	RowStart  int32
+	Dim       int32
+	Data      []float32
+}
+
+// MigrateCommit activates the staged table at the destination; the
+// response carries the destination's new forwarding epoch. The same
+// message body addresses sparse.migrate.abort, which discards the
+// staged storage of a failed move instead.
+type MigrateCommit struct {
+	TableID   int32
+	PartIndex int32
+}
+
+// MigrateForward tells the source the destination is authoritative: the
+// source installs a forwarding entry (dialing Addr for service Service)
+// and, when Release is set, drops its local copy. Until released, the
+// source keeps double-reading its retained copy — byte-identical to the
+// destination's, since table storage is immutable.
+type MigrateForward struct {
+	TableID   int32
+	PartIndex int32
+	Service   string
+	Addr      string
+	Release   bool
+}
+
+// EpochResponse carries a shard's forwarding epoch after a cutover step.
+type EpochResponse struct {
+	Epoch uint64
+}
+
+func encodeBool(w *buffer, v bool) {
+	if v {
+		w.u32(1)
+	} else {
+		w.u32(0)
+	}
+}
+
+func decodeBool(r *reader) (bool, error) {
+	v, err := r.u32()
+	return v != 0, err
+}
+
+// EncodeLoadRequest serializes a load-summary request.
+func EncodeLoadRequest(req *LoadRequest) []byte {
+	var w buffer
+	encodeBool(&w, req.Reset)
+	return w.b
+}
+
+// DecodeLoadRequest parses a load-summary request.
+func DecodeLoadRequest(b []byte) (*LoadRequest, error) {
+	r := reader{b: b}
+	reset, err := decodeBool(&r)
+	if err != nil {
+		return nil, err
+	}
+	return &LoadRequest{Reset: reset}, nil
+}
+
+// EncodeLoadSummary serializes a load summary in deterministic key
+// order.
+func EncodeLoadSummary(s *sharding.LoadSummary) []byte {
+	var w buffer
+	keys := s.Keys()
+	w.u32(uint32(len(keys)))
+	for _, k := range keys {
+		l := s.Tables[k]
+		w.u32(uint32(k.TableID))
+		w.u32(uint32(k.PartIndex))
+		w.u64(uint64(l.Lookups))
+		w.u64(uint64(l.ServiceTime))
+		w.u64(uint64(l.Calls))
+	}
+	return w.b
+}
+
+// DecodeLoadSummary parses a load summary.
+func DecodeLoadSummary(b []byte) (*sharding.LoadSummary, error) {
+	r := reader{b: b}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := sharding.NewLoadSummary()
+	for i := uint32(0); i < n; i++ {
+		var tid, part uint32
+		var lookups, svc, calls uint64
+		if tid, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if part, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if lookups, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if svc, err = r.u64(); err != nil {
+			return nil, err
+		}
+		if calls, err = r.u64(); err != nil {
+			return nil, err
+		}
+		out.Add(sharding.TableLoadKey{TableID: int(tid), PartIndex: int(part)}, sharding.TableLoad{
+			Lookups: int64(lookups), ServiceTime: time.Duration(svc), Calls: int64(calls),
+		})
+	}
+	return out, nil
+}
+
+// EncodeMigrateBegin serializes a staging-allocation request.
+func EncodeMigrateBegin(m *MigrateBegin) []byte {
+	var w buffer
+	w.u32(uint32(m.TableID))
+	w.u32(uint32(m.PartIndex))
+	w.u32(uint32(m.NumParts))
+	w.u32(uint32(m.Rows))
+	w.u32(uint32(m.Dim))
+	return w.b
+}
+
+// DecodeMigrateBegin parses a staging-allocation request.
+func DecodeMigrateBegin(b []byte) (*MigrateBegin, error) {
+	r := reader{b: b}
+	out := &MigrateBegin{}
+	for _, dst := range []*int32{&out.TableID, &out.PartIndex, &out.NumParts, &out.Rows, &out.Dim} {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		*dst = int32(v)
+	}
+	return out, nil
+}
+
+// EncodeMigrateRead serializes a row-range read request.
+func EncodeMigrateRead(m *MigrateRead) []byte {
+	var w buffer
+	w.u32(uint32(m.TableID))
+	w.u32(uint32(m.PartIndex))
+	w.u32(uint32(m.RowStart))
+	w.u32(uint32(m.RowCount))
+	return w.b
+}
+
+// DecodeMigrateRead parses a row-range read request.
+func DecodeMigrateRead(b []byte) (*MigrateRead, error) {
+	r := reader{b: b}
+	out := &MigrateRead{}
+	for _, dst := range []*int32{&out.TableID, &out.PartIndex, &out.RowStart, &out.RowCount} {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		*dst = int32(v)
+	}
+	return out, nil
+}
+
+// EncodeMigrateReadResponse serializes a row-range read response.
+func EncodeMigrateReadResponse(m *MigrateReadResponse) []byte {
+	var w buffer
+	w.u32(uint32(m.Rows))
+	w.u32(uint32(m.Dim))
+	w.f32s(m.Data)
+	return w.b
+}
+
+// DecodeMigrateReadResponse parses a row-range read response.
+func DecodeMigrateReadResponse(b []byte) (*MigrateReadResponse, error) {
+	r := reader{b: b}
+	rows, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	dim, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	data, err := r.f32s()
+	if err != nil {
+		return nil, err
+	}
+	return &MigrateReadResponse{Rows: int32(rows), Dim: int32(dim), Data: data}, nil
+}
+
+// EncodeMigrateChunk serializes a row-range delivery.
+func EncodeMigrateChunk(m *MigrateChunk) []byte {
+	var w buffer
+	w.u32(uint32(m.TableID))
+	w.u32(uint32(m.PartIndex))
+	w.u32(uint32(m.RowStart))
+	w.u32(uint32(m.Dim))
+	w.f32s(m.Data)
+	return w.b
+}
+
+// DecodeMigrateChunk parses a row-range delivery.
+func DecodeMigrateChunk(b []byte) (*MigrateChunk, error) {
+	r := reader{b: b}
+	out := &MigrateChunk{}
+	for _, dst := range []*int32{&out.TableID, &out.PartIndex, &out.RowStart, &out.Dim} {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		*dst = int32(v)
+	}
+	var err error
+	if out.Data, err = r.f32s(); err != nil {
+		return nil, err
+	}
+	if out.Dim > 0 && int32(len(out.Data))%out.Dim != 0 {
+		return nil, fmt.Errorf("core: migrate chunk has %d values for dim %d", len(out.Data), out.Dim)
+	}
+	return out, nil
+}
+
+// EncodeMigrateCommit serializes a cutover request.
+func EncodeMigrateCommit(m *MigrateCommit) []byte {
+	var w buffer
+	w.u32(uint32(m.TableID))
+	w.u32(uint32(m.PartIndex))
+	return w.b
+}
+
+// DecodeMigrateCommit parses a cutover request.
+func DecodeMigrateCommit(b []byte) (*MigrateCommit, error) {
+	r := reader{b: b}
+	tid, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	part, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	return &MigrateCommit{TableID: int32(tid), PartIndex: int32(part)}, nil
+}
+
+// EncodeMigrateForward serializes a forward-installation request.
+func EncodeMigrateForward(m *MigrateForward) []byte {
+	var w buffer
+	w.u32(uint32(m.TableID))
+	w.u32(uint32(m.PartIndex))
+	w.str(m.Service)
+	w.str(m.Addr)
+	encodeBool(&w, m.Release)
+	return w.b
+}
+
+// DecodeMigrateForward parses a forward-installation request.
+func DecodeMigrateForward(b []byte) (*MigrateForward, error) {
+	r := reader{b: b}
+	tid, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	part, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out := &MigrateForward{TableID: int32(tid), PartIndex: int32(part)}
+	if out.Service, err = r.str(); err != nil {
+		return nil, err
+	}
+	if out.Addr, err = r.str(); err != nil {
+		return nil, err
+	}
+	if out.Release, err = decodeBool(&r); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeEpochResponse serializes an epoch acknowledgement.
+func EncodeEpochResponse(m *EpochResponse) []byte {
+	var w buffer
+	w.u64(m.Epoch)
+	return w.b
+}
+
+// DecodeEpochResponse parses an epoch acknowledgement.
+func DecodeEpochResponse(b []byte) (*EpochResponse, error) {
+	r := reader{b: b}
+	e, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	return &EpochResponse{Epoch: e}, nil
+}

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/embedding"
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/rpc"
 	"repro/internal/sharding"
 	"repro/internal/trace"
 )
@@ -18,40 +20,128 @@ type tableKey struct {
 	part int
 }
 
+func (k tableKey) loadKey() sharding.TableLoadKey {
+	return sharding.TableLoadKey{TableID: k.id, PartIndex: k.part}
+}
+
+// forwardTarget routes lookups for a migrated-away table to the shard
+// that now holds it.
+type forwardTarget struct {
+	service string
+	caller  rpc.Caller
+}
+
 // SparseShard serves pooled embedding lookups for the tables (and table
-// partitions) a sharding plan assigns to it. It is stateless across
-// requests — the property Section III-A1 requires so shards can be
-// replicated and restarted freely — holding only immutable table storage.
+// partitions) a sharding plan assigns to it. Table storage is immutable
+// once installed — the property Section III-A1 requires so shards can be
+// replicated and restarted freely — but the *set* of tables a shard
+// holds changes under online resharding: the migration protocol streams
+// row ranges into a staging area, commits them at a new forwarding
+// epoch, and the source either double-reads its retained copy or
+// forwards stragglers, so lookups in flight across a cutover are never
+// wrong.
 type SparseShard struct {
 	// ShardName labels spans ("sparse3").
 	ShardName string
 	rec       *trace.Recorder
-	tables    map[tableKey]embedding.Table
 	// OpComputeScale stretches sparse-op time to model slower platforms
 	// (burned as real CPU); 0 or 1 means no scaling.
 	OpComputeScale float64
+	// DialForward overrides how the shard connects to a forward
+	// destination (tests inject in-process callers); nil uses rpc.Dial.
+	DialForward func(addr string) (rpc.Caller, error)
+
+	mu       sync.RWMutex
+	tables   map[tableKey]embedding.Table
+	staging  map[tableKey]*embedding.Dense
+	forwards map[tableKey]*forwardTarget
+	// fwdClients caches dialed forward callers per address so N moved
+	// tables to one destination share one connection pool.
+	fwdClients map[string]rpc.Caller
+
+	epoch atomic.Uint64
+
+	loadMu sync.Mutex
+	load   *sharding.LoadSummary
 }
 
 // NewSparseShard returns an empty shard recording to rec.
 func NewSparseShard(name string, rec *trace.Recorder) *SparseShard {
-	return &SparseShard{ShardName: name, rec: rec, tables: make(map[tableKey]embedding.Table)}
+	return &SparseShard{
+		ShardName:  name,
+		rec:        rec,
+		tables:     make(map[tableKey]embedding.Table),
+		staging:    make(map[tableKey]*embedding.Dense),
+		forwards:   make(map[tableKey]*forwardTarget),
+		fwdClients: make(map[string]rpc.Caller),
+		load:       sharding.NewLoadSummary(),
+	}
 }
 
 // AddTable installs a whole table.
 func (s *SparseShard) AddTable(id int, t embedding.Table) {
-	s.tables[tableKey{id: id, part: 0}] = t
+	s.InstallTable(id, 0, t)
 }
 
 // AddPart installs one row-partition of a table.
 func (s *SparseShard) AddPart(id, part int, t embedding.Table) {
-	s.tables[tableKey{id: id, part: part}] = t
+	s.InstallTable(id, part, t)
 }
 
+// InstallTable activates table storage under (id, part), clears any
+// forward for the key (this shard is authoritative again), and bumps the
+// forwarding epoch.
+func (s *SparseShard) InstallTable(id, part int, t embedding.Table) {
+	s.mu.Lock()
+	key := tableKey{id: id, part: part}
+	s.tables[key] = t
+	delete(s.forwards, key)
+	delete(s.staging, key)
+	s.mu.Unlock()
+	s.epoch.Add(1)
+}
+
+// BeginForward routes future lookups for (id, part) to caller (serving
+// the named destination shard). When release is set the local copy is
+// dropped immediately; otherwise the shard keeps double-reading its
+// retained copy — byte-identical to the destination's, since storage is
+// immutable — until ReleaseTable.
+func (s *SparseShard) BeginForward(id, part int, service string, caller rpc.Caller, release bool) {
+	s.mu.Lock()
+	key := tableKey{id: id, part: part}
+	s.forwards[key] = &forwardTarget{service: service, caller: caller}
+	if release {
+		delete(s.tables, key)
+	}
+	s.mu.Unlock()
+	s.epoch.Add(1)
+}
+
+// ReleaseTable drops the local copy of (id, part), leaving any forward
+// in place — the end of a double-read grace window.
+func (s *SparseShard) ReleaseTable(id, part int) {
+	s.mu.Lock()
+	delete(s.tables, tableKey{id: id, part: part})
+	s.mu.Unlock()
+	s.epoch.Add(1)
+}
+
+// Epoch returns the shard's forwarding epoch: it advances on every
+// install, forward, and release, so two reads bracketing a lookup prove
+// no cutover interleaved.
+func (s *SparseShard) Epoch() uint64 { return s.epoch.Load() }
+
 // NumTables reports how many tables/parts the shard holds.
-func (s *SparseShard) NumTables() int { return len(s.tables) }
+func (s *SparseShard) NumTables() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.tables)
+}
 
 // Bytes reports the shard's embedding storage footprint.
 func (s *SparseShard) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	var n int64
 	for _, t := range s.tables {
 		n += t.Bytes()
@@ -59,12 +149,65 @@ func (s *SparseShard) Bytes() int64 {
 	return n
 }
 
-// Handle implements rpc.Handler: it decodes a SparseRequest, runs the
-// pooling net under the shard's tracer, and encodes the pooled results.
-func (s *SparseShard) Handle(ctx trace.Context, method string, body []byte) ([]byte, error) {
-	if method != "sparse.run" {
-		return nil, fmt.Errorf("core: %s: unknown method %q", s.ShardName, method)
+// LoadSnapshot returns a copy of the shard's accumulated load summary;
+// reset additionally clears the live accumulator.
+func (s *SparseShard) LoadSnapshot(reset bool) *sharding.LoadSummary {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	out := s.load.Clone()
+	if reset {
+		s.load = sharding.NewLoadSummary()
 	}
+	return out
+}
+
+// Close releases any forward-client connections the shard dialed.
+func (s *SparseShard) Close() {
+	s.mu.Lock()
+	clients := s.fwdClients
+	s.fwdClients = make(map[string]rpc.Caller)
+	s.mu.Unlock()
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+// Handle implements rpc.Handler: the serving path ("sparse.run") plus
+// the online-resharding control plane (load collection and the live
+// migration protocol).
+func (s *SparseShard) Handle(ctx trace.Context, method string, body []byte) ([]byte, error) {
+	switch method {
+	case MethodSparseRun:
+		return s.handleRun(ctx, body)
+	case MethodSparseLoad:
+		return s.handleLoad(body)
+	case MethodMigrateBegin:
+		return s.handleMigrateBegin(ctx, body)
+	case MethodMigrateRead:
+		return s.handleMigrateRead(ctx, body)
+	case MethodMigrateChunk:
+		return s.handleMigrateChunk(ctx, body)
+	case MethodMigrateCommit:
+		return s.handleMigrateCommit(ctx, body)
+	case MethodMigrateAbort:
+		return s.handleMigrateAbort(body)
+	case MethodMigrateForward:
+		return s.handleMigrateForward(body)
+	}
+	return nil, fmt.Errorf("core: %s: unknown method %q", s.ShardName, method)
+}
+
+// runEntry is one sparse-request entry resolved against the shard's
+// current table set: served locally, or forwarded to the shard that now
+// holds the table.
+type runEntry struct {
+	idx     int // position in the request (response order)
+	entry   SparseEntry
+	table   embedding.Table // non-nil → serve locally
+	forward *forwardTarget  // used when table is nil
+}
+
+func (s *SparseShard) handleRun(ctx trace.Context, body []byte) ([]byte, error) {
 	// Deserialize (RPC Ser/De at the sparse shard).
 	desStart := s.rec.Now()
 	req, err := DecodeSparseRequest(body)
@@ -76,57 +219,359 @@ func (s *SparseShard) Handle(ctx trace.Context, method string, body []byte) ([]b
 		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
 	}
 
-	// Build and run the pooling net: one fused SLS over the requested
-	// entries, executed through the framework so Net Overhead and
-	// operator spans are attributed exactly like the main shard's.
-	ws := nn.NewWorkspace()
-	sls := &nn.MultiSLS{OpName: "sls_" + s.ShardName}
+	// Resolve every entry against one consistent snapshot of the table
+	// set: a cutover landing mid-request flips routing for the *next*
+	// request, never within one.
+	local := make([]runEntry, 0, len(req.Entries))
+	var forwarded []runEntry
+	s.mu.RLock()
 	for i, e := range req.Entries {
 		key := tableKey{id: int(e.TableID), part: int(e.PartIndex)}
-		tab, ok := s.tables[key]
-		if !ok {
-			return nil, fmt.Errorf("core: %s does not hold table %d part %d", s.ShardName, e.TableID, e.PartIndex)
+		if tab, ok := s.tables[key]; ok {
+			local = append(local, runEntry{idx: i, entry: e, table: tab})
+			continue
 		}
-		bagsName := fmt.Sprintf("bags_%d", i)
-		ws.SetBags(bagsName, e.Bags)
-		sls.Entries = append(sls.Entries, nn.SLSEntry{
-			Table:     tab,
-			InputBags: bagsName,
-			Output:    fmt.Sprintf("pooled_%d", i),
-		})
+		if fwd, ok := s.forwards[key]; ok {
+			forwarded = append(forwarded, runEntry{idx: i, entry: e, forward: fwd})
+			continue
+		}
+		s.mu.RUnlock()
+		return nil, fmt.Errorf("core: %s does not hold table %d part %d", s.ShardName, e.TableID, e.PartIndex)
 	}
-	obs := &trace.NetObserver{R: s.rec, Ctx: ctx}
-	net := &nn.Net{NetName: req.Net, Ops: []nn.Op{sls}}
-	opStart := time.Now()
-	if err := net.Run(ws, obs); err != nil {
-		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+	s.mu.RUnlock()
+
+	results := make([]PooledEntry, len(req.Entries))
+
+	// Issue forwarded entries first so the destination pools while this
+	// shard runs its local net.
+	fwdCall := s.issueForwards(ctx, req.Net, forwarded)
+
+	if len(local) > 0 {
+		// Build and run the pooling net: one fused SLS over the locally
+		// held entries, executed through the framework so Net Overhead and
+		// operator spans are attributed exactly like the main shard's.
+		ws := nn.NewWorkspace()
+		sls := &nn.MultiSLS{OpName: "sls_" + s.ShardName}
+		for _, le := range local {
+			bagsName := fmt.Sprintf("bags_%d", le.idx)
+			ws.SetBags(bagsName, le.entry.Bags)
+			sls.Entries = append(sls.Entries, nn.SLSEntry{
+				Table:     le.table,
+				InputBags: bagsName,
+				Output:    fmt.Sprintf("pooled_%d", le.idx),
+			})
+		}
+		obs := &trace.NetObserver{R: s.rec, Ctx: ctx}
+		net := &nn.Net{NetName: req.Net, Ops: []nn.Op{sls}}
+		opStart := time.Now()
+		if err := net.Run(ws, obs); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+		}
+		if s.OpComputeScale > 1 {
+			burnFor(time.Duration(float64(time.Since(opStart)) * (s.OpComputeScale - 1)))
+		}
+		opDur := time.Since(opStart)
+		s.accountLoad(local, opDur)
+
+		for _, le := range local {
+			m, err := ws.Blob(fmt.Sprintf("pooled_%d", le.idx))
+			if err != nil {
+				return nil, err
+			}
+			results[le.idx] = PooledEntry{
+				TableID:   le.entry.TableID,
+				PartIndex: le.entry.PartIndex,
+				Rows:      int32(m.Rows),
+				Cols:      int32(m.Cols),
+				Data:      m.Data,
+			}
+		}
 	}
-	if s.OpComputeScale > 1 {
-		burnFor(time.Duration(float64(time.Since(opStart)) * (s.OpComputeScale - 1)))
+
+	if fwdCall != nil {
+		if err := fwdCall(results); err != nil {
+			return nil, err
+		}
 	}
 
 	// Serialize (RPC Ser/De at the sparse shard).
 	encStart := s.rec.Now()
-	resp := &SparseResponse{}
-	for i, e := range req.Entries {
-		m, err := ws.Blob(fmt.Sprintf("pooled_%d", i))
-		if err != nil {
-			return nil, err
-		}
-		resp.Entries = append(resp.Entries, PooledEntry{
-			TableID:   e.TableID,
-			PartIndex: e.PartIndex,
-			Rows:      int32(m.Rows),
-			Cols:      int32(m.Cols),
-			Data:      m.Data,
-		})
-	}
-	out := EncodeSparseResponse(resp)
+	out := EncodeSparseResponse(&SparseResponse{Entries: results})
 	s.rec.Record(trace.Span{
 		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerSerDe,
 		Name: "sparse/encode", Start: encStart, Dur: s.rec.Now().Sub(encStart),
 	})
 	return out, nil
+}
+
+// accountLoad folds one call's locally served entries into the live load
+// summary, apportioning the call's sparse-op time by lookup share.
+func (s *SparseShard) accountLoad(local []runEntry, opDur time.Duration) {
+	total := 0
+	lookups := make([]int, len(local))
+	for i, le := range local {
+		lookups[i] = embedding.TotalLookups(le.entry.Bags)
+		total += lookups[i]
+	}
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	for i, le := range local {
+		var svc time.Duration
+		if total > 0 {
+			svc = time.Duration(float64(opDur) * float64(lookups[i]) / float64(total))
+		}
+		key := tableKey{id: int(le.entry.TableID), part: int(le.entry.PartIndex)}
+		s.load.Add(key.loadKey(), sharding.TableLoad{
+			Lookups: int64(lookups[i]), ServiceTime: svc, Calls: 1,
+		})
+	}
+}
+
+// issueForwards sends forwarded entries to their destination shards and
+// returns a wait function that splices the pooled results into the
+// response slice, or nil when nothing was forwarded.
+func (s *SparseShard) issueForwards(ctx trace.Context, net string, forwarded []runEntry) func([]PooledEntry) error {
+	if len(forwarded) == 0 {
+		return nil
+	}
+	// Group entries per destination caller so one straggler batch costs
+	// one hop per destination.
+	type group struct {
+		target  *forwardTarget
+		entries []runEntry
+	}
+	var groups []group
+	byCaller := make(map[rpc.Caller]int)
+	for _, fe := range forwarded {
+		gi, ok := byCaller[fe.forward.caller]
+		if !ok {
+			gi = len(groups)
+			byCaller[fe.forward.caller] = gi
+			groups = append(groups, group{target: fe.forward})
+		}
+		groups[gi].entries = append(groups[gi].entries, fe)
+	}
+	type pending struct {
+		g     group
+		call  *rpc.Call
+		issue time.Time
+	}
+	calls := make([]pending, 0, len(groups))
+	for _, g := range groups {
+		sreq := &SparseRequest{Net: net}
+		for _, fe := range g.entries {
+			sreq.Entries = append(sreq.Entries, fe.entry)
+		}
+		issue := s.rec.Now()
+		call := g.target.caller.Go(&rpc.Request{
+			Method: MethodSparseRun, TraceID: ctx.TraceID, CallID: s.rec.NextID(),
+			Body: EncodeSparseRequest(sreq),
+		})
+		calls = append(calls, pending{g: g, call: call, issue: issue})
+	}
+	return func(results []PooledEntry) error {
+		for _, p := range calls {
+			<-p.call.Done
+			s.rec.Record(trace.Span{
+				TraceID: ctx.TraceID, CallID: p.call.Req.CallID, Layer: trace.LayerMigration,
+				Net: net, Name: "forward/" + p.g.target.service,
+				Start: p.issue, Dur: s.rec.Now().Sub(p.issue),
+			})
+			if p.call.Err != nil {
+				return fmt.Errorf("core: %s forwarding to %s: %w", s.ShardName, p.g.target.service, p.call.Err)
+			}
+			resp, err := DecodeSparseResponse(p.call.Resp.Body)
+			if err != nil {
+				return fmt.Errorf("core: %s forwarding to %s: %w", s.ShardName, p.g.target.service, err)
+			}
+			if len(resp.Entries) != len(p.g.entries) {
+				return fmt.Errorf("core: %s forward returned %d entries for %d", s.ShardName, len(resp.Entries), len(p.g.entries))
+			}
+			for i, fe := range p.g.entries {
+				results[fe.idx] = resp.Entries[i]
+			}
+		}
+		return nil
+	}
+}
+
+func (s *SparseShard) handleLoad(body []byte) ([]byte, error) {
+	req, err := DecodeLoadRequest(body)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+	}
+	return EncodeLoadSummary(s.LoadSnapshot(req.Reset)), nil
+}
+
+func (s *SparseShard) handleMigrateBegin(ctx trace.Context, body []byte) ([]byte, error) {
+	m, err := DecodeMigrateBegin(body)
+	if err != nil {
+		return nil, err
+	}
+	if m.Rows <= 0 || m.Dim <= 0 {
+		return nil, fmt.Errorf("core: %s: migrate begin with shape %dx%d", s.ShardName, m.Rows, m.Dim)
+	}
+	start := s.rec.Now()
+	stage := embedding.NewDense(int(m.Rows), int(m.Dim))
+	s.mu.Lock()
+	s.staging[tableKey{id: int(m.TableID), part: int(m.PartIndex)}] = stage
+	s.mu.Unlock()
+	s.rec.Record(trace.Span{
+		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
+		Name:  fmt.Sprintf("migrate/begin/t%d.%d", m.TableID, m.PartIndex),
+		Start: start, Dur: s.rec.Now().Sub(start),
+	})
+	return nil, nil
+}
+
+func (s *SparseShard) handleMigrateRead(ctx trace.Context, body []byte) ([]byte, error) {
+	m, err := DecodeMigrateRead(body)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	tab, ok := s.tables[tableKey{id: int(m.TableID), part: int(m.PartIndex)}]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %s does not hold table %d part %d", s.ShardName, m.TableID, m.PartIndex)
+	}
+	dense, ok := tab.(*embedding.Dense)
+	if !ok {
+		return nil, fmt.Errorf("core: %s: table %d part %d is not fp32 dense; cannot stream rows", s.ShardName, m.TableID, m.PartIndex)
+	}
+	resp := &MigrateReadResponse{Rows: int32(dense.NumRows()), Dim: int32(dense.Dim())}
+	if m.RowCount > 0 {
+		lo, hi := int(m.RowStart), int(m.RowStart+m.RowCount)
+		if lo < 0 || hi > dense.NumRows() || lo >= hi {
+			return nil, fmt.Errorf("core: %s: migrate read rows [%d, %d) of %d", s.ShardName, lo, hi, dense.NumRows())
+		}
+		start := s.rec.Now()
+		resp.Data = append([]float32(nil), dense.Data[lo*dense.Dim():hi*dense.Dim()]...)
+		s.rec.Record(trace.Span{
+			TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
+			Name:  fmt.Sprintf("migrate/read/t%d.%d", m.TableID, m.PartIndex),
+			Start: start, Dur: s.rec.Now().Sub(start),
+		})
+	}
+	return EncodeMigrateReadResponse(resp), nil
+}
+
+func (s *SparseShard) handleMigrateChunk(ctx trace.Context, body []byte) ([]byte, error) {
+	m, err := DecodeMigrateChunk(body)
+	if err != nil {
+		return nil, err
+	}
+	key := tableKey{id: int(m.TableID), part: int(m.PartIndex)}
+	s.mu.RLock()
+	stage, ok := s.staging[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %s: migrate chunk for table %d part %d without begin", s.ShardName, m.TableID, m.PartIndex)
+	}
+	if int(m.Dim) != stage.Dim() {
+		return nil, fmt.Errorf("core: %s: migrate chunk dim %d for staged dim %d", s.ShardName, m.Dim, stage.Dim())
+	}
+	rows := len(m.Data) / stage.Dim()
+	lo, hi := int(m.RowStart), int(m.RowStart)+rows
+	if lo < 0 || hi > stage.NumRows() {
+		return nil, fmt.Errorf("core: %s: migrate chunk rows [%d, %d) of %d", s.ShardName, lo, hi, stage.NumRows())
+	}
+	start := s.rec.Now()
+	// Chunks target disjoint row ranges of preallocated staging storage,
+	// so copies need no lock; the staging map itself is read-locked.
+	copy(stage.Data[lo*stage.Dim():hi*stage.Dim()], m.Data)
+	s.rec.Record(trace.Span{
+		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
+		Name:  fmt.Sprintf("migrate/chunk/t%d.%d", m.TableID, m.PartIndex),
+		Start: start, Dur: s.rec.Now().Sub(start),
+	})
+	return nil, nil
+}
+
+func (s *SparseShard) handleMigrateCommit(ctx trace.Context, body []byte) ([]byte, error) {
+	m, err := DecodeMigrateCommit(body)
+	if err != nil {
+		return nil, err
+	}
+	key := tableKey{id: int(m.TableID), part: int(m.PartIndex)}
+	s.mu.Lock()
+	stage, ok := s.staging[key]
+	if ok {
+		delete(s.staging, key)
+		s.tables[key] = stage
+		delete(s.forwards, key)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %s: migrate commit for table %d part %d without begin", s.ShardName, m.TableID, m.PartIndex)
+	}
+	epoch := s.epoch.Add(1)
+	s.rec.Record(trace.Span{
+		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
+		Name:  fmt.Sprintf("migrate/commit/t%d.%d", m.TableID, m.PartIndex),
+		Start: s.rec.Now(),
+	})
+	return EncodeEpochResponse(&EpochResponse{Epoch: epoch}), nil
+}
+
+// handleMigrateAbort discards staged storage for a move the
+// orchestrator gave up on, so a failed stream does not strand a
+// table-sized staging buffer. Aborting a key that was never begun (or
+// already committed) is a no-op, making the cleanup safe to fire
+// unconditionally.
+func (s *SparseShard) handleMigrateAbort(body []byte) ([]byte, error) {
+	m, err := DecodeMigrateCommit(body)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	delete(s.staging, tableKey{id: int(m.TableID), part: int(m.PartIndex)})
+	s.mu.Unlock()
+	return nil, nil
+}
+
+func (s *SparseShard) handleMigrateForward(body []byte) ([]byte, error) {
+	m, err := DecodeMigrateForward(body)
+	if err != nil {
+		return nil, err
+	}
+	caller, err := s.forwardCaller(m.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: dialing forward %s (%s): %w", s.ShardName, m.Service, m.Addr, err)
+	}
+	s.BeginForward(int(m.TableID), int(m.PartIndex), m.Service, caller, m.Release)
+	return EncodeEpochResponse(&EpochResponse{Epoch: s.Epoch()}), nil
+}
+
+// forwardCaller returns a cached (or freshly dialed) caller for a
+// forward destination address. The dial happens outside s.mu: an
+// unreachable destination must stall only this control-plane call, not
+// every sparse.run blocked behind the table lock.
+func (s *SparseShard) forwardCaller(addr string) (rpc.Caller, error) {
+	s.mu.RLock()
+	c, ok := s.fwdClients[addr]
+	s.mu.RUnlock()
+	if ok {
+		return c, nil
+	}
+	dial := s.DialForward
+	if dial == nil {
+		dial = func(a string) (rpc.Caller, error) { return rpc.Dial(a, nil) }
+	}
+	fresh, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if c, ok := s.fwdClients[addr]; ok {
+		// Lost the dial race; keep the first connection.
+		s.mu.Unlock()
+		fresh.Close()
+		return c, nil
+	}
+	s.fwdClients[addr] = fresh
+	s.mu.Unlock()
+	return fresh, nil
 }
 
 // MaterializeShards builds the sparse shards' table storage from a model

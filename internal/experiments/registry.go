@@ -38,6 +38,7 @@ func All() []Experiment {
 		{"tab3", "Quantization and pruning on DRM1", func(r *Runner, w io.Writer) error { return r.Table3(w) }},
 		{"repl", "Replication economics (§VII-C)", func(r *Runner, w io.Writer) error { return r.Replication(w) }},
 		{"front", "SLA serving frontier (batch window × QPS)", func(r *Runner, w io.Writer) error { return r.Frontier(w) }},
+		{"reshard", "Online resharding under load drift (skew × move budget)", func(r *Runner, w io.Writer) error { return r.Reshard(w) }},
 	}
 }
 

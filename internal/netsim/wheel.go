@@ -18,6 +18,7 @@ import (
 type Wheel struct {
 	mu     sync.Mutex
 	events eventHeap
+	seq    uint64
 	wake   chan struct{}
 	fire   chan event
 	once   sync.Once
@@ -25,16 +26,26 @@ type Wheel struct {
 
 type event struct {
 	at time.Time
-	ch chan struct{}
-	fn func()
+	// seq totally orders events sharing a deadline: the heap alone
+	// treats equal-time events as interchangeable, and simulated NIC
+	// completions scheduled for the same instant must fire in the order
+	// they were scheduled (FIFO), not in heap-pop order.
+	seq uint64
+	ch  chan struct{}
+	fn  func()
 }
 
 type eventHeap []event
 
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return h[i].at.Before(h[j].at) }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -92,6 +103,8 @@ func (w *Wheel) schedule(e event) {
 		go w.loop()
 	})
 	w.mu.Lock()
+	w.seq++
+	e.seq = w.seq
 	heap.Push(&w.events, e)
 	w.mu.Unlock()
 	select {

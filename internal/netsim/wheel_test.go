@@ -1,0 +1,63 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWheelSameDeadlineFIFO pins the wheel's ordering contract for
+// timer callbacks scheduled for the *same* deadline: they must fire in
+// scheduling (FIFO) order. The public API stamps each event's deadline
+// from time.Now, so same-deadline events can only be built against the
+// internal schedule hook — which is exactly where the contract lives:
+// the heap's tie-break plus the single ordered fire worker. Run under
+// -race this also exercises the dispatcher/worker synchronization.
+func TestWheelSameDeadlineFIFO(t *testing.T) {
+	const n = 200
+	w := &Wheel{wake: make(chan struct{}, 1)}
+	at := time.Now().Add(3 * time.Millisecond)
+
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		w.schedule(event{at: at, fn: func() {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			wg.Done()
+		}})
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != n {
+		t.Fatalf("fired %d of %d callbacks", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("callback %d fired at position %d; same-deadline events must fire FIFO (order %v...)", got, i, order[:min(i+3, n)])
+		}
+	}
+}
+
+// TestWheelSameDeadlineConcurrentSchedulers hammers one shared deadline
+// from many goroutines: every callback must fire exactly once. Under
+// -race this exercises the seq counter, heap, and fire-worker handoff
+// against concurrent schedule calls.
+func TestWheelSameDeadlineConcurrentSchedulers(t *testing.T) {
+	const n = 100
+	w := &Wheel{wake: make(chan struct{}, 1)}
+	at := time.Now().Add(2 * time.Millisecond)
+
+	var fired sync.WaitGroup
+	fired.Add(n)
+	for i := 0; i < n; i++ {
+		go w.schedule(event{at: at, fn: fired.Done})
+	}
+	fired.Wait()
+}

@@ -142,6 +142,15 @@ func (c *Client) CallSync(req *Request) (*Response, error) {
 	return call.Resp, call.Err
 }
 
+// SyncCall issues req on any Caller and blocks for the response — the
+// synchronous convenience control-plane callers (migration, load
+// collection) use over plain and hedged callers alike.
+func SyncCall(c Caller, req *Request) (*Response, error) {
+	call := c.Go(req)
+	<-call.Done
+	return call.Resp, call.Err
+}
+
 func (s *clientConn) close() error {
 	s.mu.Lock()
 	if s.closed {

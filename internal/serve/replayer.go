@@ -65,8 +65,10 @@ func (r *Result) record(d time.Duration, err error) {
 	}
 }
 
-// send issues one request and waits for its response.
-func (rp *Replayer) send(req *workload.Request) (time.Duration, error) {
+// Send issues one request, waits for its response, and returns the
+// scores — the building block for callers that compare outputs across
+// deployments (the resharding identity check) on top of timing.
+func (rp *Replayer) Send(req *workload.Request) ([]float32, time.Duration, error) {
 	body := core.EncodeRankingRequest(core.FromWorkload(req))
 	start := time.Now()
 	resp, err := rp.client.CallSync(&rpc.Request{
@@ -77,16 +79,22 @@ func (rp *Replayer) send(req *workload.Request) (time.Duration, error) {
 	})
 	elapsed := time.Since(start)
 	if err != nil {
-		return elapsed, err
+		return nil, elapsed, err
 	}
 	rr, err := core.DecodeRankingResponse(resp.Body)
 	if err != nil {
-		return elapsed, err
+		return nil, elapsed, err
 	}
 	if len(rr.Scores) != req.Items {
-		return elapsed, fmt.Errorf("serve: request %d returned %d scores for %d items", req.ID, len(rr.Scores), req.Items)
+		return nil, elapsed, fmt.Errorf("serve: request %d returned %d scores for %d items", req.ID, len(rr.Scores), req.Items)
 	}
-	return elapsed, nil
+	return rr.Scores, elapsed, nil
+}
+
+// send issues one request and waits for its response.
+func (rp *Replayer) send(req *workload.Request) (time.Duration, error) {
+	_, elapsed, err := rp.Send(req)
+	return elapsed, err
 }
 
 // RunSerial replays requests one at a time, blocking on each response —
@@ -99,6 +107,23 @@ func (rp *Replayer) RunSerial(reqs []*workload.Request) *Result {
 		res.record(d, err)
 	}
 	return res
+}
+
+// RunSerialScored replays requests serially like RunSerial, also
+// returning each request's scores (nil for failed or shed requests) in
+// request order — the identity-checking mode the resharding experiment
+// compares against a control deployment.
+func (rp *Replayer) RunSerialScored(reqs []*workload.Request) ([][]float32, *Result) {
+	res := &Result{}
+	scores := make([][]float32, len(reqs))
+	for i, req := range reqs {
+		s, d, err := rp.Send(req)
+		if err == nil {
+			scores[i] = s
+		}
+		res.record(d, err)
+	}
+	return scores, res
 }
 
 // RunOpenLoop replays requests with uniform inter-arrival spacing at the

@@ -1,0 +1,190 @@
+package sharding
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+)
+
+// rebalanceFixture builds a 4-table, 2-shard plan with a lopsided
+// measured load: tables 0,1 on shard 1 carry nearly all the heat.
+func rebalanceFixture(t *testing.T) (model.Config, *Plan, *LoadSummary) {
+	t.Helper()
+	cfg := model.Config{Name: "toy", Nets: []model.NetSpec{{Name: "net1", DenseDim: 4}}}
+	for i := 0; i < 4; i++ {
+		cfg.Tables = append(cfg.Tables, model.TableSpec{
+			ID: i, Name: "t", Net: "net1", Rows: 16, Dim: 4, PoolingFactor: 1,
+		})
+	}
+	plan := &Plan{
+		ModelName: "toy", Strategy: StrategyLoad, NumShards: 2,
+		Shards: []Assignment{
+			{Shard: 1, Tables: []int{0, 1}},
+			{Shard: 2, Tables: []int{2, 3}},
+		},
+	}
+	if err := plan.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	load := NewLoadSummary()
+	load.Add(TableLoadKey{TableID: 0}, TableLoad{Lookups: 1000, ServiceTime: 10 * time.Millisecond, Calls: 10})
+	load.Add(TableLoadKey{TableID: 1}, TableLoad{Lookups: 800, ServiceTime: 8 * time.Millisecond, Calls: 10})
+	load.Add(TableLoadKey{TableID: 2}, TableLoad{Lookups: 100, ServiceTime: time.Millisecond, Calls: 10})
+	load.Add(TableLoadKey{TableID: 3}, TableLoad{Lookups: 100, ServiceTime: time.Millisecond, Calls: 10})
+	return cfg, plan, load
+}
+
+func TestRebalanceMovesHotTable(t *testing.T) {
+	cfg, plan, load := rebalanceFixture(t)
+	mp, err := Rebalance(&cfg, plan, load, RebalanceOptions{MoveBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Moves) != 1 {
+		t.Fatalf("moves = %v, want exactly 1", mp.Moves)
+	}
+	mv := mp.Moves[0]
+	// Shard 1 holds 18ms, shard 2 holds 2ms; moving table 1 (8ms) lands
+	// closest to halving the 16ms gap.
+	if mv.TableID != 1 || mv.From != 1 || mv.To != 2 {
+		t.Fatalf("move = %v, want table 1 shard 1 -> 2", mv)
+	}
+	if err := mp.Target.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	if mp.MaxLoadAfter >= mp.MaxLoadBefore {
+		t.Fatalf("max load %v -> %v did not improve", mp.MaxLoadBefore, mp.MaxLoadAfter)
+	}
+}
+
+func TestRebalanceMoveBudgetZeroIsNoOp(t *testing.T) {
+	cfg, plan, load := rebalanceFixture(t)
+	mp, err := Rebalance(&cfg, plan, load, RebalanceOptions{MoveBudget: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Moves) != 0 {
+		t.Fatalf("budget 0 produced moves: %v", mp.Moves)
+	}
+	if mp.Target != plan {
+		t.Fatal("budget 0 must leave the target aliased to the current plan")
+	}
+	if mp.MaxLoadAfter != mp.MaxLoadBefore {
+		t.Fatalf("no-op changed max load %v -> %v", mp.MaxLoadBefore, mp.MaxLoadAfter)
+	}
+}
+
+func TestRebalanceDeterministic(t *testing.T) {
+	cfg, plan, load := rebalanceFixture(t)
+	first, err := Rebalance(&cfg, plan, load, RebalanceOptions{MoveBudget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := Rebalance(&cfg, plan, load.Clone(), RebalanceOptions{MoveBudget: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first.Moves, again.Moves) {
+			t.Fatalf("run %d moves %v != %v", i, again.Moves, first.Moves)
+		}
+		if !reflect.DeepEqual(first.Target, again.Target) {
+			t.Fatalf("run %d target differs", i)
+		}
+	}
+}
+
+func TestRebalanceBalancedPlanIsStable(t *testing.T) {
+	cfg, plan, _ := rebalanceFixture(t)
+	load := NewLoadSummary()
+	for i := 0; i < 4; i++ {
+		load.Add(TableLoadKey{TableID: i}, TableLoad{Lookups: 500, ServiceTime: 5 * time.Millisecond})
+	}
+	mp, err := Rebalance(&cfg, plan, load, RebalanceOptions{MoveBudget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Moves) != 0 {
+		t.Fatalf("balanced load still produced moves: %v", mp.Moves)
+	}
+}
+
+func TestRebalanceNeverEmptiesShard(t *testing.T) {
+	cfg, plan, _ := rebalanceFixture(t)
+	// All heat on shard 2's two tables; a naive balancer would strip
+	// shard 2 bare, but plans forbid empty shards.
+	load := NewLoadSummary()
+	load.Add(TableLoadKey{TableID: 2}, TableLoad{ServiceTime: 50 * time.Millisecond})
+	load.Add(TableLoadKey{TableID: 3}, TableLoad{ServiceTime: 40 * time.Millisecond})
+	mp, err := Rebalance(&cfg, plan, load, RebalanceOptions{MoveBudget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mp.Target.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range mp.Target.Shards {
+		if ShardTableCount(&a) == 0 {
+			t.Fatalf("rebalance emptied shard %d", a.Shard)
+		}
+	}
+}
+
+func TestRebalancePartsMoveAsUnits(t *testing.T) {
+	cfg := model.Config{Name: "toy", Nets: []model.NetSpec{{Name: "net1", DenseDim: 4}}}
+	for i := 0; i < 3; i++ {
+		cfg.Tables = append(cfg.Tables, model.TableSpec{
+			ID: i, Name: "t", Net: "net1", Rows: 16, Dim: 4, PoolingFactor: 1,
+		})
+	}
+	plan := &Plan{
+		ModelName: "toy", Strategy: StrategyLoad, NumShards: 2,
+		Shards: []Assignment{
+			{Shard: 1, Tables: []int{1}, Parts: []PartRef{{TableID: 0, PartIndex: 0, NumParts: 2}}},
+			{Shard: 2, Tables: []int{2}, Parts: []PartRef{{TableID: 0, PartIndex: 1, NumParts: 2}}},
+		},
+	}
+	if err := plan.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	load := NewLoadSummary()
+	load.Add(TableLoadKey{TableID: 0, PartIndex: 0}, TableLoad{ServiceTime: 9 * time.Millisecond})
+	load.Add(TableLoadKey{TableID: 1}, TableLoad{ServiceTime: 9 * time.Millisecond})
+	load.Add(TableLoadKey{TableID: 0, PartIndex: 1}, TableLoad{ServiceTime: time.Millisecond})
+	load.Add(TableLoadKey{TableID: 2}, TableLoad{ServiceTime: time.Millisecond})
+	mp, err := Rebalance(&cfg, plan, load, RebalanceOptions{MoveBudget: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mp.Moves) != 1 {
+		t.Fatalf("moves = %v", mp.Moves)
+	}
+	if err := mp.Target.Validate(&cfg); err != nil {
+		t.Fatal(err)
+	}
+	mv := mp.Moves[0]
+	if mv.NumParts == 2 && mv.TableID != 0 {
+		t.Fatalf("part move references table %d", mv.TableID)
+	}
+}
+
+func TestLoadSummaryMergeAndCodecRoundTrip(t *testing.T) {
+	a := NewLoadSummary()
+	a.Add(TableLoadKey{TableID: 1}, TableLoad{Lookups: 5, ServiceTime: time.Millisecond, Calls: 1})
+	b := NewLoadSummary()
+	b.Add(TableLoadKey{TableID: 1}, TableLoad{Lookups: 7, ServiceTime: 2 * time.Millisecond, Calls: 2})
+	b.Add(TableLoadKey{TableID: 2, PartIndex: 1}, TableLoad{Lookups: 3, Calls: 1})
+	a.Merge(b)
+	got := a.Tables[TableLoadKey{TableID: 1}]
+	if got.Lookups != 12 || got.ServiceTime != 3*time.Millisecond || got.Calls != 3 {
+		t.Fatalf("merged = %+v", got)
+	}
+	if a.TotalLookups() != 15 {
+		t.Fatalf("total lookups = %d", a.TotalLookups())
+	}
+	if len(a.Keys()) != 2 {
+		t.Fatalf("keys = %v", a.Keys())
+	}
+}

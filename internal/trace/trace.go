@@ -50,6 +50,11 @@ const (
 	// LayerRPCCall is the outstanding time of one remote call measured at
 	// the caller (issue → response future resolved).
 	LayerRPCCall
+	// LayerMigration covers online-resharding work: row-range streaming,
+	// staging installs, and cutovers. Kept distinct from the serving
+	// layers so migration cost is visible in timelines without polluting
+	// the request-path attribution (the analyzer ignores it).
+	LayerMigration
 )
 
 var layerNames = [...]string{
@@ -59,6 +64,7 @@ var layerNames = [...]string{
 	LayerNetOverhead: "Net Overhead",
 	LayerOp:          "Operator",
 	LayerRPCCall:     "RPC Call",
+	LayerMigration:   "Migration",
 }
 
 // String returns the figure-legend name of the layer.

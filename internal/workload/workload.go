@@ -68,6 +68,48 @@ func NewGenerator(cfg model.Config, seed int64) *Generator {
 // EnableDiurnal turns on request-size modulation over the stream.
 func (g *Generator) EnableDiurnal() { g.diurnal = true }
 
+// ApplySkew returns a copy of the stream with per-table pooling scaled
+// by the given factors — injected hot-feature drift on a *fixed* trace.
+// A factor f rewrites each bag to round(f·len) indices by cycling the
+// original list (f > 1 repeats hot rows, f < 1 keeps a prefix), so the
+// transform is deterministic and phase-to-phase comparisons replay the
+// identical dense features and item counts. Dense matrices are shared
+// with the source requests; bags are fresh slices.
+func ApplySkew(reqs []*Request, skew map[int]float64) []*Request {
+	out := make([]*Request, len(reqs))
+	for i, req := range reqs {
+		nr := &Request{
+			ID: req.ID, Items: req.Items, Dense: req.Dense,
+			Bags:          make(map[int][]embedding.Bag, len(req.Bags)),
+			ArrivalOffset: req.ArrivalOffset,
+		}
+		for tid, bags := range req.Bags {
+			f, ok := skew[tid]
+			if !ok {
+				nr.Bags[tid] = bags
+				continue
+			}
+			nb := make([]embedding.Bag, len(bags))
+			for b, bag := range bags {
+				n := len(bag.Indices)
+				target := int(math.Round(float64(n) * f))
+				if n == 0 || target == n {
+					nb[b] = bag
+					continue
+				}
+				idx := make([]int32, target)
+				for j := range idx {
+					idx[j] = bag.Indices[j%n]
+				}
+				nb[b].Indices = idx
+			}
+			nr.Bags[tid] = nb
+		}
+		out[i] = nr
+	}
+	return out
+}
+
 // Next generates the next request.
 func (g *Generator) Next() *Request {
 	g.seq++
