@@ -151,6 +151,11 @@ func BenchmarkFrontierServing(b *testing.B) { runExperiment(b, "front") }
 // drift × move budget, with the mid-migration score-identity check.
 func BenchmarkReshardOnline(b *testing.B) { runExperiment(b, "reshard") }
 
+// BenchmarkTieredStorage regenerates the tiered-storage sweep: cache
+// budget × cold precision × row skew, the paired equal-QPS verdict, and
+// the migration identity check with the hot-row cache enabled.
+func BenchmarkTieredStorage(b *testing.B) { runExperiment(b, "tiered") }
+
 // nopExec is a zero-cost executor isolating the serving frontend's own
 // hot path (queue, gather, admission, demux) from engine time.
 type nopExec struct{}
@@ -213,7 +218,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig3", "fig4", "fig5", "tab2", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab3",
-		"repl", "front", "reshard",
+		"repl", "front", "reshard", "tiered",
 	}
 	all := experiments.All()
 	if len(all) != len(want) {

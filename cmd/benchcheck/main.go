@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -76,28 +77,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var regressions, improved, onlyOne []string
-	for _, name := range sortedNames(current) {
-		cur := current[name]
-		b, ok := base[name]
-		if !ok {
-			onlyOne = append(onlyOne, name+" (new)")
-			continue
-		}
-		ratio := cur.NsPerOp / b.NsPerOp
-		switch {
-		case ratio > *threshold:
-			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx > %.2fx)",
-				name, b.NsPerOp, cur.NsPerOp, ratio, *threshold))
-		case ratio < 1/(*threshold):
-			improved = append(improved, fmt.Sprintf("%s: %.2fx faster", name, 1/ratio))
-		}
-	}
-	for _, name := range sortedNames(base) {
-		if _, ok := current[name]; !ok {
-			onlyOne = append(onlyOne, name+" (removed)")
-		}
-	}
+	regressions, improved, onlyOne := compare(current, base, *threshold)
 	for _, s := range improved {
 		fmt.Println("benchcheck: improved:", s)
 	}
@@ -113,7 +93,36 @@ func main() {
 	fmt.Printf("benchcheck: %d benchmarks within %.2fx of baseline\n", len(current), *threshold)
 }
 
-func parse(f *os.File) (map[string]Result, error) {
+// compare gates current against base: a benchmark regresses when its
+// ns/op strictly exceeds baseline × threshold (landing exactly on the
+// threshold passes), improves when it beats baseline ÷ threshold, and a
+// name present on only one side is reported but never fails the gate.
+func compare(current, base map[string]Result, threshold float64) (regressions, improved, onlyOne []string) {
+	for _, name := range sortedNames(current) {
+		cur := current[name]
+		b, ok := base[name]
+		if !ok {
+			onlyOne = append(onlyOne, name+" (new)")
+			continue
+		}
+		ratio := cur.NsPerOp / b.NsPerOp
+		switch {
+		case ratio > threshold:
+			regressions = append(regressions, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%.2fx > %.2fx)",
+				name, b.NsPerOp, cur.NsPerOp, ratio, threshold))
+		case ratio < 1/threshold:
+			improved = append(improved, fmt.Sprintf("%s: %.2fx faster", name, 1/ratio))
+		}
+	}
+	for _, name := range sortedNames(base) {
+		if _, ok := current[name]; !ok {
+			onlyOne = append(onlyOne, name+" (removed)")
+		}
+	}
+	return regressions, improved, onlyOne
+}
+
+func parse(f io.Reader) (map[string]Result, error) {
 	out := make(map[string]Result)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The CI benchmark gate finally gets tests of its own: the parser, the
+// manifest reader's failure modes (missing baseline file, malformed
+// JSON), and the gate's threshold semantics — including the exact-
+// threshold boundary, which must pass.
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `
+goos: linux
+BenchmarkFoo-8        123    4567 ns/op    89 B/op
+BenchmarkBar          10     123.5 ns/op
+BenchmarkNoMatch      garbage
+PASS
+`
+	got, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %v", len(got), got)
+	}
+	if r := got["BenchmarkFoo"]; r.Iterations != 123 || r.NsPerOp != 4567 {
+		t.Fatalf("BenchmarkFoo = %+v (GOMAXPROCS suffix must be stripped)", r)
+	}
+	if r := got["BenchmarkBar"]; r.NsPerOp != 123.5 {
+		t.Fatalf("BenchmarkBar = %+v", r)
+	}
+}
+
+func TestReadManifestMissingFile(t *testing.T) {
+	if _, err := readManifest(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing baseline file did not error")
+	}
+}
+
+func TestReadManifestMalformedJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"BenchmarkFoo": {`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := readManifest(path)
+	if err == nil {
+		t.Fatal("malformed JSON did not error")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error does not name the offending file: %v", err)
+	}
+}
+
+func TestCompareThresholdSemantics(t *testing.T) {
+	base := map[string]Result{
+		"BenchmarkExact":    {NsPerOp: 100},
+		"BenchmarkOver":     {NsPerOp: 100},
+		"BenchmarkFaster":   {NsPerOp: 100},
+		"BenchmarkRetired":  {NsPerOp: 100},
+		"BenchmarkUnmoved":  {NsPerOp: 100},
+		"BenchmarkJustOver": {NsPerOp: 100},
+	}
+	current := map[string]Result{
+		"BenchmarkExact":    {NsPerOp: 125},     // exactly threshold: passes
+		"BenchmarkOver":     {NsPerOp: 200},     // 2.00x: regression
+		"BenchmarkJustOver": {NsPerOp: 125.001}, // barely over: regression
+		"BenchmarkFaster":   {NsPerOp: 50},      // 2x faster: improved
+		"BenchmarkUnmoved":  {NsPerOp: 101},
+		"BenchmarkNew":      {NsPerOp: 10}, // present only here: unmatched
+	}
+	regressions, improved, onlyOne := compare(current, base, 1.25)
+
+	if len(regressions) != 2 {
+		t.Fatalf("regressions = %v, want BenchmarkOver and BenchmarkJustOver", regressions)
+	}
+	for _, s := range regressions {
+		if !strings.HasPrefix(s, "BenchmarkOver") && !strings.HasPrefix(s, "BenchmarkJustOver") {
+			t.Fatalf("unexpected regression %q", s)
+		}
+	}
+	if len(improved) != 1 || !strings.HasPrefix(improved[0], "BenchmarkFaster") {
+		t.Fatalf("improved = %v", improved)
+	}
+	// New and retired benchmarks are reported but never fail the gate.
+	wantUnmatched := map[string]bool{"BenchmarkNew (new)": true, "BenchmarkRetired (removed)": true}
+	if len(onlyOne) != len(wantUnmatched) {
+		t.Fatalf("unmatched = %v", onlyOne)
+	}
+	for _, s := range onlyOne {
+		if !wantUnmatched[s] {
+			t.Fatalf("unexpected unmatched entry %q", s)
+		}
+	}
+}
+
+func TestCompareExactThresholdIsNotRegression(t *testing.T) {
+	// The boundary case in isolation: ratio == threshold must pass — the
+	// gate fails only on strictly worse.
+	regressions, improved, onlyOne := compare(
+		map[string]Result{"BenchmarkEdge": {NsPerOp: 125}},
+		map[string]Result{"BenchmarkEdge": {NsPerOp: 100}},
+		1.25,
+	)
+	if len(regressions) != 0 || len(improved) != 0 || len(onlyOne) != 0 {
+		t.Fatalf("exact threshold misclassified: reg=%v imp=%v un=%v", regressions, improved, onlyOne)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.json")
+	in := map[string]Result{"BenchmarkA": {Iterations: 7, NsPerOp: 42.5}}
+	if err := writeManifest(path, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["BenchmarkA"] != in["BenchmarkA"] {
+		t.Fatalf("round trip changed manifest: %+v", out)
+	}
+}

@@ -62,6 +62,12 @@ func main() {
 		// shards' measured load and migrate tables live toward balance.
 		rebalEvery = flag.Duration("rebalance-every", 0, "main role: run a capacity-driven rebalance pass at this interval (0 disables)")
 		moveBudget = flag.Int("move-budget", 4, "max table moves per rebalance pass")
+
+		// Tiered embedding storage (sparse role): a hot-row cache byte
+		// budget in front of a quantized cold tier.
+		cacheMB   = flag.Float64("cache-mb", 0, "sparse role: hot-row cache budget in MiB, apportioned across tables by measured load (0 disables)")
+		coldPrec  = flag.String("cold-precision", "fp32", "sparse role: cold-tier storage precision: fp32, fp16, or int8")
+		errBudget = flag.Float64("error-budget", 0, "sparse role: max quantization error as a fraction of value scale (0 = default 1/250)")
 	)
 	flag.Parse()
 
@@ -93,15 +99,20 @@ func main() {
 		m = model.Build(cfg)
 	}
 
+	tier, err := buildTier(&cfg, *cacheMB, *coldPrec, *errBudget)
+	if err != nil {
+		fatal(err)
+	}
+
 	var srv *rpc.Server
 	shutdown := func() {}
 	switch *role {
 	case "sparse":
 		if *shardFile != "" {
-			srv, err = serveSparseFromFile(*shardFile, *listen, *netDelay)
+			srv, err = serveSparseFromFile(*shardFile, *listen, *netDelay, tier)
 			break
 		}
-		srv, err = serveSparse(m, plan, *shardNum, *listen, *netDelay)
+		srv, err = serveSparse(m, plan, *shardNum, *listen, *netDelay, tier)
 	case "main":
 		opts := mainOptions{
 			batchWait:      *batchWait,
@@ -133,9 +144,28 @@ func main() {
 	shutdown()
 }
 
+// buildTier translates the tiered-storage flags into a shard tier
+// config; nil when tiering is entirely off.
+func buildTier(cfg *model.Config, cacheMB float64, coldPrec string, errBudget float64) (*core.TierConfig, error) {
+	prec, err := sharding.ParsePrecision(coldPrec)
+	if err != nil {
+		return nil, err
+	}
+	if cacheMB < 0 {
+		return nil, fmt.Errorf("-cache-mb %g < 0", cacheMB)
+	}
+	if cacheMB == 0 && prec == sharding.PrecisionFP32 {
+		return nil, nil
+	}
+	return &core.TierConfig{
+		CacheMB: cacheMB,
+		Plan:    sharding.PlanTiers(cfg, sharding.TierOptions{ColdPrecision: prec, ErrorBudget: errBudget}),
+	}, nil
+}
+
 // serveSparseFromFile boots a sparse shard straight from a shard file —
 // the shard never materializes the rest of the model.
-func serveSparseFromFile(path, listen string, sim bool) (*rpc.Server, error) {
+func serveSparseFromFile(path, listen string, sim bool, tier *core.TierConfig) (*rpc.Server, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -146,6 +176,9 @@ func serveSparseFromFile(path, listen string, sim bool) (*rpc.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tier != nil {
+		sh.SetTier(tier)
+	}
 	cfg := rpc.ServerConfig{Recorder: rec, BoilerplateCost: platform.BaseBoilerplate}
 	if sim {
 		cfg.ResponseLink = platform.SCLarge().Network(int64(shard)).Response
@@ -155,7 +188,7 @@ func serveSparseFromFile(path, listen string, sim bool) (*rpc.Server, error) {
 	return rpc.NewServer(listen, sh, cfg)
 }
 
-func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, sim bool) (*rpc.Server, error) {
+func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, sim bool, tier *core.TierConfig) (*rpc.Server, error) {
 	if !plan.IsDistributed() {
 		return nil, fmt.Errorf("singular plans have no sparse shards")
 	}
@@ -166,7 +199,7 @@ func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, 
 	for i := range recs {
 		recs[i] = trace.NewRecorder(core.ServiceName(i+1), 1<<16)
 	}
-	all, err := core.MaterializeShards(m, plan, recs)
+	all, err := core.MaterializeShardsTiered(m, plan, recs, tier)
 	if err != nil {
 		return nil, err
 	}
@@ -176,6 +209,11 @@ func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, 
 		cfg.ResponseLink = platform.SCLarge().Network(int64(shard)).Response
 	}
 	fmt.Printf("drmserve: %s holds %d tables/parts, %.1f MiB\n", sh.ShardName, sh.NumTables(), float64(sh.Bytes())/(1<<20))
+	if tier != nil {
+		ts := sh.TierSnapshot()
+		fmt.Printf("drmserve: tiered store: %d fp32 / %d fp16 / %d int8 tables, %.1f MiB cold, %.1f MiB cache budget\n",
+			ts.FP32, ts.FP16, ts.Int8, float64(ts.ColdBytes)/(1<<20), tier.CacheMB)
+	}
 	return rpc.NewServer(listen, sh, cfg)
 }
 

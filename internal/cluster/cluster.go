@@ -51,6 +51,10 @@ type Options struct {
 	// MainMaxInFlight bounds concurrent requests dispatched at the main
 	// shard's RPC server (0 = unbounded): transport-level backpressure.
 	MainMaxInFlight int
+	// Tier, when non-nil, enables the tiered embedding store on every
+	// sparse shard: a hot-row cache byte budget in front of cold-tier
+	// storage encoded per the config's tier plan.
+	Tier *core.TierConfig
 }
 
 // Cluster is a running deployment.
@@ -135,7 +139,7 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 			recs[i].SetClockSkew(skewFor(opts, i+1))
 			c.Collector.Attach(recs[i])
 		}
-		shards, err := core.MaterializeShards(m, plan, recs)
+		shards, err := core.MaterializeShardsTiered(m, plan, recs, opts.Tier)
 		if err != nil {
 			return nil, err
 		}
@@ -317,6 +321,26 @@ func (c *Cluster) Rebalance(opts sharding.RebalanceOptions) (*core.RebalanceRepo
 	}
 	c.Plan = report.Plan.Target
 	return report, nil
+}
+
+// TierStats snapshots every sparse shard's tiered-storage state (nil for
+// singular plans) — resident cold/cache bytes and cache hit counters.
+func (c *Cluster) TierStats() []core.TierStats {
+	out := make([]core.TierStats, len(c.shards))
+	for i, sh := range c.shards {
+		out[i] = sh.TierSnapshot()
+	}
+	return out
+}
+
+// ResidentBytes sums the sparse shards' live storage footprints (cold
+// tier plus hot-row caches) — the capacity a deployment provisions for.
+func (c *Cluster) ResidentBytes() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += sh.Bytes()
+	}
+	return n
 }
 
 // MainStats snapshots the main server's backpressure gauges.

@@ -108,6 +108,10 @@ func (w *buffer) i32s(xs []int32) {
 		binary.LittleEndian.PutUint32(w.b[off+4*i:], uint32(x))
 	}
 }
+func (w *buffer) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.b = append(w.b, b...)
+}
 func (w *buffer) bags(bags []embedding.Bag) {
 	w.u32(uint32(len(bags)))
 	for _, bag := range bags {
@@ -165,6 +169,15 @@ func (r *reader) i32s() ([]int32, error) {
 		out[i] = int32(binary.LittleEndian.Uint32(r.b[4*i:]))
 	}
 	r.b = r.b[4*n:]
+	return out, nil
+}
+func (r *reader) bytes() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil || uint32(len(r.b)) < n {
+		return nil, errTruncated
+	}
+	out := append([]byte(nil), r.b[:n]...)
+	r.b = r.b[n:]
 	return out, nil
 }
 func (r *reader) bags() ([]embedding.Bag, error) {

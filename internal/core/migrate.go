@@ -184,9 +184,18 @@ func (mg *Migrator) streamMove(mv sharding.Move) (int64, error) {
 		return 0, err
 	}
 
-	begin := &MigrateBegin{TableID: tid, PartIndex: part, NumParts: int32(mv.NumParts), Rows: shape.Rows, Dim: shape.Dim}
+	begin := &MigrateBegin{
+		TableID: tid, PartIndex: part, NumParts: int32(mv.NumParts),
+		Rows: shape.Rows, Dim: shape.Dim, Enc: shape.Enc,
+	}
 	if _, err := mg.call(dst, MethodMigrateBegin, EncodeMigrateBegin(begin)); err != nil {
 		return 0, err
+	}
+	rawStride := 0
+	if shape.Enc != TierEncFP32 {
+		if rawStride, err = tierEncStride(shape.Enc, shape.Dim); err != nil {
+			return 0, fmt.Errorf("core: move %v: %w", mv, err)
+		}
 	}
 
 	var moved int64
@@ -205,14 +214,27 @@ func (mg *Migrator) streamMove(mv sharding.Move) (int64, error) {
 		if err != nil {
 			return moved, err
 		}
-		if int32(len(chunk.Data)) != count*shape.Dim {
-			return moved, fmt.Errorf("core: move %v: read %d values for %d rows", mv, len(chunk.Data), count)
+		if chunk.Enc != shape.Enc {
+			return moved, fmt.Errorf("core: move %v: encoding changed %d -> %d mid-stream", mv, shape.Enc, chunk.Enc)
 		}
-		push := &MigrateChunk{TableID: tid, PartIndex: part, RowStart: row, Dim: shape.Dim, Data: chunk.Data}
+		if shape.Enc == TierEncFP32 {
+			if int32(len(chunk.Data)) != count*shape.Dim {
+				return moved, fmt.Errorf("core: move %v: read %d values for %d rows", mv, len(chunk.Data), count)
+			}
+			moved += int64(len(chunk.Data)) * 4
+		} else {
+			if len(chunk.Raw) != int(count)*rawStride {
+				return moved, fmt.Errorf("core: move %v: read %d raw bytes for %d rows", mv, len(chunk.Raw), count)
+			}
+			moved += int64(len(chunk.Raw))
+		}
+		push := &MigrateChunk{
+			TableID: tid, PartIndex: part, RowStart: row,
+			Dim: shape.Dim, Enc: shape.Enc, Data: chunk.Data, Raw: chunk.Raw,
+		}
 		if _, err := mg.call(dst, MethodMigrateChunk, EncodeMigrateChunk(push)); err != nil {
 			return moved, err
 		}
-		moved += int64(len(chunk.Data)) * 4
 	}
 
 	if _, err := mg.call(dst, MethodMigrateCommit, EncodeMigrateCommit(&MigrateCommit{TableID: tid, PartIndex: part})); err != nil {

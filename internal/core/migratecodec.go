@@ -33,13 +33,16 @@ type LoadRequest struct {
 }
 
 // MigrateBegin tells the destination to allocate staging storage for an
-// incoming table (or row-partition) of Rows×Dim.
+// incoming table (or row-partition) of Rows×Dim in the source's
+// cold-tier encoding (TierEnc*): staging matches the wire encoding so
+// the committed table is bit-identical to the source's.
 type MigrateBegin struct {
 	TableID   int32
 	PartIndex int32
 	NumParts  int32
 	Rows      int32
 	Dim       int32
+	Enc       int32
 }
 
 // MigrateRead asks the source for RowCount rows of a held table starting
@@ -52,22 +55,28 @@ type MigrateRead struct {
 }
 
 // MigrateReadResponse returns the requested row range plus the table's
-// full shape so the orchestrator can size the stream without a separate
-// metadata call.
+// full shape and cold-tier encoding so the orchestrator can size the
+// stream (and allocate matching staging) without a separate metadata
+// call. Fp32 tables travel in Data; encoded tiers travel verbatim in Raw
+// (RowCount rows of the encoding's wire stride).
 type MigrateReadResponse struct {
 	Rows int32 // total rows held at the source
 	Dim  int32
-	Data []float32 // RowCount×Dim values starting at RowStart
+	Enc  int32
+	Data []float32 // fp32: RowCount×Dim values starting at RowStart
+	Raw  []byte    // encoded tiers: RowCount rows of encoded bytes
 }
 
 // MigrateChunk delivers one row range into the destination's staging
-// table.
+// table, in the encoding MigrateBegin declared.
 type MigrateChunk struct {
 	TableID   int32
 	PartIndex int32
 	RowStart  int32
 	Dim       int32
+	Enc       int32
 	Data      []float32
+	Raw       []byte
 }
 
 // MigrateCommit activates the staged table at the destination; the
@@ -185,6 +194,7 @@ func EncodeMigrateBegin(m *MigrateBegin) []byte {
 	w.u32(uint32(m.NumParts))
 	w.u32(uint32(m.Rows))
 	w.u32(uint32(m.Dim))
+	w.u32(uint32(m.Enc))
 	return w.b
 }
 
@@ -192,7 +202,7 @@ func EncodeMigrateBegin(m *MigrateBegin) []byte {
 func DecodeMigrateBegin(b []byte) (*MigrateBegin, error) {
 	r := reader{b: b}
 	out := &MigrateBegin{}
-	for _, dst := range []*int32{&out.TableID, &out.PartIndex, &out.NumParts, &out.Rows, &out.Dim} {
+	for _, dst := range []*int32{&out.TableID, &out.PartIndex, &out.NumParts, &out.Rows, &out.Dim, &out.Enc} {
 		v, err := r.u32()
 		if err != nil {
 			return nil, err
@@ -231,44 +241,17 @@ func EncodeMigrateReadResponse(m *MigrateReadResponse) []byte {
 	var w buffer
 	w.u32(uint32(m.Rows))
 	w.u32(uint32(m.Dim))
+	w.u32(uint32(m.Enc))
 	w.f32s(m.Data)
+	w.bytes(m.Raw)
 	return w.b
 }
 
 // DecodeMigrateReadResponse parses a row-range read response.
 func DecodeMigrateReadResponse(b []byte) (*MigrateReadResponse, error) {
 	r := reader{b: b}
-	rows, err := r.u32()
-	if err != nil {
-		return nil, err
-	}
-	dim, err := r.u32()
-	if err != nil {
-		return nil, err
-	}
-	data, err := r.f32s()
-	if err != nil {
-		return nil, err
-	}
-	return &MigrateReadResponse{Rows: int32(rows), Dim: int32(dim), Data: data}, nil
-}
-
-// EncodeMigrateChunk serializes a row-range delivery.
-func EncodeMigrateChunk(m *MigrateChunk) []byte {
-	var w buffer
-	w.u32(uint32(m.TableID))
-	w.u32(uint32(m.PartIndex))
-	w.u32(uint32(m.RowStart))
-	w.u32(uint32(m.Dim))
-	w.f32s(m.Data)
-	return w.b
-}
-
-// DecodeMigrateChunk parses a row-range delivery.
-func DecodeMigrateChunk(b []byte) (*MigrateChunk, error) {
-	r := reader{b: b}
-	out := &MigrateChunk{}
-	for _, dst := range []*int32{&out.TableID, &out.PartIndex, &out.RowStart, &out.Dim} {
+	out := &MigrateReadResponse{}
+	for _, dst := range []*int32{&out.Rows, &out.Dim, &out.Enc} {
 		v, err := r.u32()
 		if err != nil {
 			return nil, err
@@ -279,8 +262,54 @@ func DecodeMigrateChunk(b []byte) (*MigrateChunk, error) {
 	if out.Data, err = r.f32s(); err != nil {
 		return nil, err
 	}
-	if out.Dim > 0 && int32(len(out.Data))%out.Dim != 0 {
+	if out.Raw, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncodeMigrateChunk serializes a row-range delivery.
+func EncodeMigrateChunk(m *MigrateChunk) []byte {
+	var w buffer
+	w.u32(uint32(m.TableID))
+	w.u32(uint32(m.PartIndex))
+	w.u32(uint32(m.RowStart))
+	w.u32(uint32(m.Dim))
+	w.u32(uint32(m.Enc))
+	w.f32s(m.Data)
+	w.bytes(m.Raw)
+	return w.b
+}
+
+// DecodeMigrateChunk parses a row-range delivery.
+func DecodeMigrateChunk(b []byte) (*MigrateChunk, error) {
+	r := reader{b: b}
+	out := &MigrateChunk{}
+	for _, dst := range []*int32{&out.TableID, &out.PartIndex, &out.RowStart, &out.Dim, &out.Enc} {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		*dst = int32(v)
+	}
+	var err error
+	if out.Data, err = r.f32s(); err != nil {
+		return nil, err
+	}
+	if out.Raw, err = r.bytes(); err != nil {
+		return nil, err
+	}
+	if out.Enc == TierEncFP32 && out.Dim > 0 && int32(len(out.Data))%out.Dim != 0 {
 		return nil, fmt.Errorf("core: migrate chunk has %d values for dim %d", len(out.Data), out.Dim)
+	}
+	if out.Enc != TierEncFP32 && out.Dim > 0 {
+		stride, serr := tierEncStride(out.Enc, out.Dim)
+		if serr != nil {
+			return nil, serr
+		}
+		if len(out.Raw)%stride != 0 {
+			return nil, fmt.Errorf("core: migrate chunk has %d raw bytes for row stride %d", len(out.Raw), stride)
+		}
 	}
 	return out, nil
 }

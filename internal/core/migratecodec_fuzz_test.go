@@ -1,0 +1,146 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/sharding"
+)
+
+// f32sBitEqual compares float slices bit for bit: the codecs must
+// preserve payloads exactly, including NaN bit patterns, which ==/
+// DeepEqual would reject.
+func f32sBitEqual(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Round-trip fuzzers for the migration control-plane codecs: any byte
+// string either fails to decode, or decodes to a message whose re-encoding
+// decodes to the same message (decode∘encode is the identity on the image
+// of decode). Panics and unbounded allocations are the bugs these hunt —
+// the control plane reads these payloads off the wire from peers.
+
+func FuzzMigrateBeginRoundTrip(f *testing.F) {
+	f.Add(EncodeMigrateBegin(&MigrateBegin{TableID: 3, PartIndex: 1, NumParts: 4, Rows: 100, Dim: 16, Enc: TierEncInt8}))
+	f.Add(EncodeMigrateBegin(&MigrateBegin{Rows: 1, Dim: 1}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMigrateBegin(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeMigrateBegin(EncodeMigrateBegin(m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if *again != *m {
+			t.Fatalf("round trip changed message: %+v != %+v", again, m)
+		}
+	})
+}
+
+func FuzzMigrateReadRoundTrip(f *testing.F) {
+	f.Add(EncodeMigrateRead(&MigrateRead{TableID: 9, PartIndex: 2, RowStart: 128, RowCount: 64}))
+	f.Add([]byte("short"))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMigrateRead(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeMigrateRead(EncodeMigrateRead(m))
+		if err != nil || *again != *m {
+			t.Fatalf("round trip: %+v -> %+v (err %v)", m, again, err)
+		}
+	})
+}
+
+func FuzzMigrateReadResponseRoundTrip(f *testing.F) {
+	f.Add(EncodeMigrateReadResponse(&MigrateReadResponse{Rows: 10, Dim: 4, Enc: TierEncFP32, Data: []float32{1, 2, 3, 4}}))
+	f.Add(EncodeMigrateReadResponse(&MigrateReadResponse{Rows: 10, Dim: 4, Enc: TierEncFP16, Raw: []byte{1, 2, 3, 4, 5, 6, 7, 8}}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMigrateReadResponse(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeMigrateReadResponse(EncodeMigrateReadResponse(m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Rows != m.Rows || again.Dim != m.Dim || again.Enc != m.Enc ||
+			!f32sBitEqual(again.Data, m.Data) || !bytes.Equal(again.Raw, m.Raw) {
+			t.Fatalf("round trip changed message")
+		}
+	})
+}
+
+func FuzzMigrateChunkRoundTrip(f *testing.F) {
+	f.Add(EncodeMigrateChunk(&MigrateChunk{TableID: 1, RowStart: 8, Dim: 2, Enc: TierEncFP32, Data: []float32{1, 2, 3, 4}}))
+	f.Add(EncodeMigrateChunk(&MigrateChunk{TableID: 1, RowStart: 8, Dim: 2, Enc: TierEncInt8, Raw: []byte{1, 2, 3, 4, 5, 6}}))
+	f.Add(EncodeMigrateChunk(&MigrateChunk{Dim: 3, Enc: TierEncInt4, Raw: make([]byte, 12)}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMigrateChunk(b)
+		if err != nil {
+			return
+		}
+		// Decode enforces the shape invariants; they must hold on the image.
+		if m.Enc == TierEncFP32 && m.Dim > 0 && int32(len(m.Data))%m.Dim != 0 {
+			t.Fatalf("decoded fp32 chunk violates alignment: %d values, dim %d", len(m.Data), m.Dim)
+		}
+		again, err := DecodeMigrateChunk(EncodeMigrateChunk(m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.TableID != m.TableID || again.PartIndex != m.PartIndex || again.RowStart != m.RowStart ||
+			again.Dim != m.Dim || again.Enc != m.Enc ||
+			!f32sBitEqual(again.Data, m.Data) || !bytes.Equal(again.Raw, m.Raw) {
+			t.Fatalf("round trip changed message")
+		}
+	})
+}
+
+func FuzzMigrateForwardRoundTrip(f *testing.F) {
+	f.Add(EncodeMigrateForward(&MigrateForward{TableID: 7, PartIndex: 1, Service: "sparse2", Addr: "127.0.0.1:7102", Release: true}))
+	f.Add(EncodeMigrateForward(&MigrateForward{Service: "", Addr: ""}))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeMigrateForward(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeMigrateForward(EncodeMigrateForward(m))
+		if err != nil || *again != *m {
+			t.Fatalf("round trip: %+v -> %+v (err %v)", m, again, err)
+		}
+	})
+}
+
+func FuzzLoadSummaryRoundTrip(f *testing.F) {
+	s := sharding.NewLoadSummary()
+	s.Add(sharding.TableLoadKey{TableID: 1}, sharding.TableLoad{Lookups: 10, ServiceTime: time.Millisecond, Calls: 2})
+	s.Add(sharding.TableLoadKey{TableID: 2, PartIndex: 1}, sharding.TableLoad{Lookups: 5, Calls: 1})
+	f.Add(EncodeLoadSummary(s))
+	f.Add(EncodeLoadSummary(sharding.NewLoadSummary()))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		m, err := DecodeLoadSummary(b)
+		if err != nil {
+			return
+		}
+		again, err := DecodeLoadSummary(EncodeLoadSummary(m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(again.Tables, m.Tables) {
+			t.Fatalf("round trip changed summary: %+v != %+v", again.Tables, m.Tables)
+		}
+	})
+}

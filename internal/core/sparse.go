@@ -53,8 +53,11 @@ type SparseShard struct {
 
 	mu       sync.RWMutex
 	tables   map[tableKey]embedding.Table
-	staging  map[tableKey]*embedding.Dense
+	staging  map[tableKey]*stagedTable
 	forwards map[tableKey]*forwardTarget
+	// tier, when non-nil, enables the tiered store: tables install behind
+	// a hot-row cache over a (possibly quantized) cold tier. Guarded by mu.
+	tier *TierConfig
 	// fwdClients caches dialed forward callers per address so N moved
 	// tables to one destination share one connection pool.
 	fwdClients map[string]rpc.Caller
@@ -63,6 +66,10 @@ type SparseShard struct {
 
 	loadMu sync.Mutex
 	load   *sharding.LoadSummary
+	// lastLoad retains the most recent collected (and reset) window so
+	// the tier controller keeps apportioning the cache budget from a full
+	// window right after a rebalance pass wipes the live accumulator.
+	lastLoad *sharding.LoadSummary
 }
 
 // NewSparseShard returns an empty shard recording to rec.
@@ -71,7 +78,7 @@ func NewSparseShard(name string, rec *trace.Recorder) *SparseShard {
 		ShardName:  name,
 		rec:        rec,
 		tables:     make(map[tableKey]embedding.Table),
-		staging:    make(map[tableKey]*embedding.Dense),
+		staging:    make(map[tableKey]*stagedTable),
 		forwards:   make(map[tableKey]*forwardTarget),
 		fwdClients: make(map[string]rpc.Caller),
 		load:       sharding.NewLoadSummary(),
@@ -90,15 +97,18 @@ func (s *SparseShard) AddPart(id, part int, t embedding.Table) {
 
 // InstallTable activates table storage under (id, part), clears any
 // forward for the key (this shard is authoritative again), and bumps the
-// forwarding epoch.
+// forwarding epoch. Under a tier config the table is wrapped on the way
+// in (cold-tier encoding plus a fresh, empty hot-row cache) and the
+// shard's cache budget is re-apportioned.
 func (s *SparseShard) InstallTable(id, part int, t embedding.Table) {
 	s.mu.Lock()
 	key := tableKey{id: id, part: part}
-	s.tables[key] = t
+	s.tables[key] = s.tierWrap(id, t)
 	delete(s.forwards, key)
 	delete(s.staging, key)
 	s.mu.Unlock()
 	s.epoch.Add(1)
+	s.retier()
 }
 
 // BeginForward routes future lookups for (id, part) to caller (serving
@@ -115,6 +125,11 @@ func (s *SparseShard) BeginForward(id, part int, service string, caller rpc.Call
 	}
 	s.mu.Unlock()
 	s.epoch.Add(1)
+	if release {
+		// The released copy's cache died with it; what remains of the
+		// budget redistributes over the tables still held.
+		s.retier()
+	}
 }
 
 // ReleaseTable drops the local copy of (id, part), leaving any forward
@@ -124,6 +139,7 @@ func (s *SparseShard) ReleaseTable(id, part int) {
 	delete(s.tables, tableKey{id: id, part: part})
 	s.mu.Unlock()
 	s.epoch.Add(1)
+	s.retier()
 }
 
 // Epoch returns the shard's forwarding epoch: it advances on every
@@ -156,6 +172,9 @@ func (s *SparseShard) LoadSnapshot(reset bool) *sharding.LoadSummary {
 	defer s.loadMu.Unlock()
 	out := s.load.Clone()
 	if reset {
+		if len(out.Tables) > 0 {
+			s.lastLoad = out
+		}
 		s.load = sharding.NewLoadSummary()
 	}
 	return out
@@ -400,7 +419,15 @@ func (s *SparseShard) handleLoad(body []byte) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
 	}
-	return EncodeLoadSummary(s.LoadSnapshot(req.Reset)), nil
+	out := EncodeLoadSummary(s.LoadSnapshot(req.Reset))
+	if req.Reset {
+		// A reset collection marks a rebalance window boundary: the
+		// just-collected window is the freshest full picture of per-table
+		// heat, so re-apportion the cache budget from it — the periodic
+		// retier that lets a recently migrated-in table earn a real share.
+		s.retier()
+	}
+	return out, nil
 }
 
 func (s *SparseShard) handleMigrateBegin(ctx trace.Context, body []byte) ([]byte, error) {
@@ -412,7 +439,10 @@ func (s *SparseShard) handleMigrateBegin(ctx trace.Context, body []byte) ([]byte
 		return nil, fmt.Errorf("core: %s: migrate begin with shape %dx%d", s.ShardName, m.Rows, m.Dim)
 	}
 	start := s.rec.Now()
-	stage := embedding.NewDense(int(m.Rows), int(m.Dim))
+	stage, err := newStaged(m.Enc, m.Rows, m.Dim)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+	}
 	s.mu.Lock()
 	s.staging[tableKey{id: int(m.TableID), part: int(m.PartIndex)}] = stage
 	s.mu.Unlock()
@@ -435,18 +465,29 @@ func (s *SparseShard) handleMigrateRead(ctx trace.Context, body []byte) ([]byte,
 	if !ok {
 		return nil, fmt.Errorf("core: %s does not hold table %d part %d", s.ShardName, m.TableID, m.PartIndex)
 	}
-	dense, ok := tab.(*embedding.Dense)
-	if !ok {
-		return nil, fmt.Errorf("core: %s: table %d part %d is not fp32 dense; cannot stream rows", s.ShardName, m.TableID, m.PartIndex)
+	cold := coldOf(tab)
+	enc, err := tableEnc(tab)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: table %d part %d: %w", s.ShardName, m.TableID, m.PartIndex, err)
 	}
-	resp := &MigrateReadResponse{Rows: int32(dense.NumRows()), Dim: int32(dense.Dim())}
+	resp := &MigrateReadResponse{Rows: int32(cold.NumRows()), Dim: int32(cold.Dim()), Enc: enc}
 	if m.RowCount > 0 {
 		lo, hi := int(m.RowStart), int(m.RowStart+m.RowCount)
-		if lo < 0 || hi > dense.NumRows() || lo >= hi {
-			return nil, fmt.Errorf("core: %s: migrate read rows [%d, %d) of %d", s.ShardName, lo, hi, dense.NumRows())
+		if lo < 0 || hi > cold.NumRows() || lo >= hi {
+			return nil, fmt.Errorf("core: %s: migrate read rows [%d, %d) of %d", s.ShardName, lo, hi, cold.NumRows())
 		}
 		start := s.rec.Now()
-		resp.Data = append([]float32(nil), dense.Data[lo*dense.Dim():hi*dense.Dim()]...)
+		// Stream the cold tier's native encoding: fp32 rows as float32
+		// payload (the original protocol), encoded tiers as verbatim
+		// bytes, so the destination's copy is bit-identical.
+		switch ct := cold.(type) {
+		case *embedding.Dense:
+			resp.Data = append([]float32(nil), ct.Data[lo*ct.Dim():hi*ct.Dim()]...)
+		case *embedding.FP16:
+			resp.Raw = ct.Encoding().AppendRowRange(nil, lo, hi)
+		case *embedding.Quantized:
+			resp.Raw = ct.Encoding().AppendRowRange(nil, lo, hi)
+		}
 		s.rec.Record(trace.Span{
 			TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
 			Name:  fmt.Sprintf("migrate/read/t%d.%d", m.TableID, m.PartIndex),
@@ -468,18 +509,22 @@ func (s *SparseShard) handleMigrateChunk(ctx trace.Context, body []byte) ([]byte
 	if !ok {
 		return nil, fmt.Errorf("core: %s: migrate chunk for table %d part %d without begin", s.ShardName, m.TableID, m.PartIndex)
 	}
-	if int(m.Dim) != stage.Dim() {
-		return nil, fmt.Errorf("core: %s: migrate chunk dim %d for staged dim %d", s.ShardName, m.Dim, stage.Dim())
+	if int(m.Dim) != stage.dim() {
+		return nil, fmt.Errorf("core: %s: migrate chunk dim %d for staged dim %d", s.ShardName, m.Dim, stage.dim())
 	}
-	rows := len(m.Data) / stage.Dim()
-	lo, hi := int(m.RowStart), int(m.RowStart)+rows
-	if lo < 0 || hi > stage.NumRows() {
-		return nil, fmt.Errorf("core: %s: migrate chunk rows [%d, %d) of %d", s.ShardName, lo, hi, stage.NumRows())
+	if m.Enc != stage.enc {
+		return nil, fmt.Errorf("core: %s: migrate chunk encoding %d for staged encoding %d", s.ShardName, m.Enc, stage.enc)
 	}
 	start := s.rec.Now()
 	// Chunks target disjoint row ranges of preallocated staging storage,
 	// so copies need no lock; the staging map itself is read-locked.
-	copy(stage.Data[lo*stage.Dim():hi*stage.Dim()], m.Data)
+	if stage.enc == TierEncFP32 {
+		if err := stage.writeF32(int(m.RowStart), m.Data); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+		}
+	} else if _, err := stage.writeRaw(int(m.RowStart), m.Raw); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+	}
 	s.rec.Record(trace.Span{
 		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
 		Name:  fmt.Sprintf("migrate/chunk/t%d.%d", m.TableID, m.PartIndex),
@@ -496,9 +541,18 @@ func (s *SparseShard) handleMigrateCommit(ctx trace.Context, body []byte) ([]byt
 	key := tableKey{id: int(m.TableID), part: int(m.PartIndex)}
 	s.mu.Lock()
 	stage, ok := s.staging[key]
+	var tab embedding.Table
 	if ok {
+		var err error
+		if tab, err = stage.table(); err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("core: %s: migrate commit: %w", s.ShardName, err)
+		}
 		delete(s.staging, key)
-		s.tables[key] = stage
+		// The committed copy starts with a cold cache: tierWrap fronts it
+		// with an empty one (nothing from the source's cache can leak in),
+		// and keeps the streamed encoding as-is.
+		s.tables[key] = s.tierWrap(key.id, tab)
 		delete(s.forwards, key)
 	}
 	s.mu.Unlock()
@@ -506,6 +560,7 @@ func (s *SparseShard) handleMigrateCommit(ctx trace.Context, body []byte) ([]byt
 		return nil, fmt.Errorf("core: %s: migrate commit for table %d part %d without begin", s.ShardName, m.TableID, m.PartIndex)
 	}
 	epoch := s.epoch.Add(1)
+	s.retier()
 	s.rec.Record(trace.Span{
 		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
 		Name:  fmt.Sprintf("migrate/commit/t%d.%d", m.TableID, m.PartIndex),
@@ -580,6 +635,14 @@ func (s *SparseShard) forwardCaller(addr string) (rpc.Caller, error) {
 // partitioned (quantized models are served whole-table, as in the paper's
 // compression experiment which is singular-only).
 func MaterializeShards(m *model.Model, plan *sharding.Plan, recs []*trace.Recorder) ([]*SparseShard, error) {
+	return MaterializeShardsTiered(m, plan, recs, nil)
+}
+
+// MaterializeShardsTiered is MaterializeShards with a tiered-store
+// config: each shard encodes its tables' cold tier to the planned
+// precision at install and fronts them with hot-row caches under the
+// shard-wide byte budget. A nil tier keeps plain fp32 serving.
+func MaterializeShardsTiered(m *model.Model, plan *sharding.Plan, recs []*trace.Recorder, tier *TierConfig) ([]*SparseShard, error) {
 	if !plan.IsDistributed() {
 		return nil, fmt.Errorf("core: cannot materialize shards for a singular plan")
 	}
@@ -622,6 +685,15 @@ func MaterializeShards(m *model.Model, plan *sharding.Plan, recs []*trace.Record
 				return nil, err
 			}
 			sh.AddPart(pr.TableID, pr.PartIndex, p[pr.PartIndex].Local)
+		}
+	}
+	if tier != nil {
+		// Tier after the full install, not per table: SetTier wraps the
+		// whole set and apportions the cache budget once, instead of T
+		// re-apportionments (each a table-set scan plus cache resizes)
+		// while the set is still filling.
+		for _, sh := range shards {
+			sh.SetTier(tier)
 		}
 	}
 	return shards, nil

@@ -2,6 +2,15 @@ package embedding
 
 import "fmt"
 
+// BagAccumulator is implemented by table backends with an amortized
+// whole-bag pooling path (the tiered store: one lock pair per bag
+// instead of per row). Implementations must pool in strict index order
+// and bounds-check like SLS does, so swapping a backend in or out never
+// changes results or panics.
+type BagAccumulator interface {
+	AccumulateBag(acc []float32, indices []int32)
+}
+
 // Bag is one pooled lookup: a set of row indices in a table whose
 // embedding vectors are summed (the paper's pooling operation). One
 // inference example contributes one bag per sparse feature; the number of
@@ -23,6 +32,12 @@ func SLS(out []float32, table Table, bags []Bag) {
 	}
 	for i := range out {
 		out[i] = 0
+	}
+	if ba, ok := table.(BagAccumulator); ok {
+		for b, bag := range bags {
+			ba.AccumulateBag(out[b*dim:(b+1)*dim], bag.Indices)
+		}
+		return
 	}
 	rows := table.NumRows()
 	for b, bag := range bags {

@@ -82,6 +82,52 @@ func (t *Dense) Quantize(bits quant.Bits) *Quantized {
 	return &Quantized{enc: quant.QuantizeRows(t.Data, t.RowsN, t.DimN, bits)}
 }
 
+// ToFP16 returns a half-precision backend encoding this table, leaving
+// the receiver unmodified — the fp16 cold tier of the tiered store.
+func (t *Dense) ToFP16() *FP16 {
+	return &FP16{enc: quant.EncodeFP16Rows(t.Data, t.RowsN, t.DimN)}
+}
+
+// RowDecoder is implemented by backends that can materialize one decoded
+// row directly (no accumulate). The tiered store's hot-row cache requires
+// it: a cached row must hold the exact decoded values, so a cache hit and
+// a cache miss contribute bitwise-identical terms to the pooling sum.
+type RowDecoder interface {
+	// DecodeRow writes row idx into dst (len(dst) == Dim()).
+	DecodeRow(dst []float32, idx int)
+}
+
+// DecodeRow implements RowDecoder.
+func (t *Dense) DecodeRow(dst []float32, idx int) { copy(dst, t.Row(idx)) }
+
+// FP16 is an embedding table backed by half-precision storage. Lookups
+// decode on the fly, fused into pooling.
+type FP16 struct {
+	enc *quant.FP16Rows
+}
+
+// NumRows implements Table.
+func (t *FP16) NumRows() int { return t.enc.Rows }
+
+// Dim implements Table.
+func (t *FP16) Dim() int { return t.enc.Cols }
+
+// AccumulateRow implements Table.
+func (t *FP16) AccumulateRow(acc []float32, idx int) { t.enc.AccumulateRow(acc, idx) }
+
+// DecodeRow implements RowDecoder.
+func (t *FP16) DecodeRow(dst []float32, idx int) { t.enc.DequantizeRowInto(dst, idx) }
+
+// Bytes implements Table.
+func (t *FP16) Bytes() int64 { return t.enc.Bytes() }
+
+// Encoding exposes the underlying fp16 storage (for serialization and
+// migration streaming).
+func (t *FP16) Encoding() *quant.FP16Rows { return t.enc }
+
+// FP16FromEncoding wraps reconstructed fp16 storage as a table.
+func FP16FromEncoding(enc *quant.FP16Rows) *FP16 { return &FP16{enc: enc} }
+
 // Quantized is an embedding table backed by row-wise linear quantized
 // storage. Lookups dequantize on the fly, fused into pooling.
 type Quantized struct {
@@ -101,6 +147,9 @@ func (t *Quantized) AccumulateRow(acc []float32, idx int) {
 
 // Bytes implements Table.
 func (t *Quantized) Bytes() int64 { return t.enc.Bytes() }
+
+// DecodeRow implements RowDecoder.
+func (t *Quantized) DecodeRow(dst []float32, idx int) { t.enc.DequantizeRowInto(dst, idx) }
 
 // Encoding exposes the underlying row-quantized encoding (for
 // serialization).

@@ -39,6 +39,7 @@ func All() []Experiment {
 		{"repl", "Replication economics (§VII-C)", func(r *Runner, w io.Writer) error { return r.Replication(w) }},
 		{"front", "SLA serving frontier (batch window × QPS)", func(r *Runner, w io.Writer) error { return r.Frontier(w) }},
 		{"reshard", "Online resharding under load drift (skew × move budget)", func(r *Runner, w io.Writer) error { return r.Reshard(w) }},
+		{"tiered", "Tiered embedding storage (cache × precision × skew)", func(r *Runner, w io.Writer) error { return r.Tiered(w) }},
 	}
 }
 

@@ -94,7 +94,7 @@ func (r *Runner) Reshard(w io.Writer) error {
 	// while a rebalance runs mid-stream, against a control deployment
 	// that never migrates. Scores must match bit for bit.
 	drift := driftSkew(&cfg, basePlan, pooling, skews[len(skews)-1])
-	identical, total, duringMig, err := r.reshardIdentity(m, basePlan, drift, n)
+	identical, total, duringMig, err := r.reshardIdentity(m, basePlan, drift, n, cluster.Options{Seed: r.P.Seed})
 	if err != nil {
 		return fmt.Errorf("reshard identity: %w", err)
 	}
@@ -230,15 +230,18 @@ func (r *Runner) reshardCell(m *model.Model, plan *sharding.Plan, drift map[int]
 
 // reshardIdentity replays the same drifted stream through a migrating
 // deployment and a static control, with the rebalance racing the middle
-// of the replay, and compares scores bitwise.
-func (r *Runner) reshardIdentity(m *model.Model, plan *sharding.Plan, drift map[int]float64, n int) (identical bool, total, duringMig int, err error) {
+// of the replay, and compares scores bitwise. Both deployments boot with
+// the same options, so the check also covers tiered configurations (the
+// tiered experiment passes a Tier config to prove cache coherence across
+// a cutover).
+func (r *Runner) reshardIdentity(m *model.Model, plan *sharding.Plan, drift map[int]float64, n int, opts cluster.Options) (identical bool, total, duringMig int, err error) {
 	stream := func() []*workload.Request {
 		gen := workload.NewGenerator(m.Config, r.P.Seed+42)
 		return workload.ApplySkew(gen.GenerateBatch(2*n), drift)
 	}
 
 	replay := func(migrate bool) ([][]float32, int, error) {
-		cl, err := cluster.Boot(m, clonePlan(plan), cluster.Options{Seed: r.P.Seed})
+		cl, err := cluster.Boot(m, clonePlan(plan), opts)
 		if err != nil {
 			return nil, 0, err
 		}

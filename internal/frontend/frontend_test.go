@@ -15,11 +15,13 @@ import (
 )
 
 // fakeExec is a controllable executor: optional gate to hold batches,
-// optional fixed delay, and per-request scores derived from the request
-// ID so demux mistakes are visible.
+// optional entry signal (fires when a batch reaches the executor, before
+// the gate), optional fixed delay, and per-request scores derived from
+// the request ID so demux mistakes are visible.
 type fakeExec struct {
-	gate  chan struct{}
-	delay time.Duration
+	gate    chan struct{}
+	entered chan struct{}
+	delay   time.Duration
 
 	mu      sync.Mutex
 	batches [][]core.BatchItem
@@ -33,6 +35,12 @@ func (f *fakeExec) Validate(req *core.RankingRequest) error {
 }
 
 func (f *fakeExec) ExecuteBatch(items []core.BatchItem) ([][]float32, error) {
+	if f.entered != nil {
+		select {
+		case f.entered <- struct{}{}:
+		default:
+		}
+	}
 	if f.gate != nil {
 		<-f.gate
 	}
@@ -165,24 +173,34 @@ func TestEndToEndMatchesUnbatchedEngine(t *testing.T) {
 }
 
 func TestQueueFullSheds(t *testing.T) {
-	exec := &fakeExec{gate: make(chan struct{})}
+	exec := &fakeExec{gate: make(chan struct{}), entered: make(chan struct{}, 1)}
 	f := New(exec, Config{MaxQueue: 2})
 	// LIFO defers: the gate must open before Close waits on the
 	// dispatcher, which is blocked on it.
 	defer f.Close()
 	defer close(exec.gate)
 
-	// First submit occupies the dispatcher (blocked on the gate); fill
-	// the queue behind it, then overflow.
+	// First submit occupies the dispatcher; wait until its batch has
+	// actually reached the executor (and is blocked on the gate) before
+	// filling the queue, so a scheduling hiccup cannot let the batcher
+	// gather the fillers into the first batch.
 	results := make(chan error, 3)
-	for i := 0; i < 3; i++ {
-		go func(i int) {
+	submit := func(i int) {
+		go func() {
 			_, err := f.Submit(trace.Context{TraceID: uint64(i + 1)}, fakeReq(uint64(i+1)))
 			results <- err
-		}(i)
+		}()
 	}
+	submit(0)
+	select {
+	case <-exec.entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("dispatcher never reached the executor")
+	}
+	submit(1)
+	submit(2)
 	// Wait until the queue is saturated, then overflow it.
-	deadline := time.Now().Add(time.Second)
+	deadline := time.Now().Add(5 * time.Second)
 	for f.QueueDepth() < 2 && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}

@@ -150,6 +150,66 @@ func NewFromParts(rows, cols int, bits Bits, scales, biases []uint16, packed []b
 	}, nil
 }
 
+// NewRowQuantizedEmpty allocates zeroed encoded storage of the given
+// shape — migration staging for an int8/int4 cold tier, filled row range
+// by row range via SetRowRange.
+func NewRowQuantizedEmpty(rows, cols int, bits Bits) *RowQuantized {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("quant: invalid table shape %dx%d", rows, cols))
+	}
+	stride := rowStrideFor(cols, bits)
+	return &RowQuantized{
+		Rows: rows, Cols: cols, Bits: bits,
+		Scales:    make([]uint16, rows),
+		Biases:    make([]uint16, rows),
+		Packed:    make([]byte, rows*stride),
+		rowStride: stride,
+	}
+}
+
+// RowRangeStride returns the wire bytes per row when streaming row
+// ranges: the fp16 (scale, bias) header plus the packed codes.
+func (q *RowQuantized) RowRangeStride() int { return 4 + q.rowStride }
+
+// AppendRowRange appends rows [lo, hi) in the wire layout (per row:
+// little-endian fp16 scale, fp16 bias, then packed codes) — the encoded
+// row stream the migration protocol moves so a transferred table stays
+// bit-identical to the source's.
+func (q *RowQuantized) AppendRowRange(dst []byte, lo, hi int) []byte {
+	if lo < 0 || hi > q.Rows || lo > hi {
+		panic(fmt.Sprintf("quant: row range [%d, %d) of %d", lo, hi, q.Rows))
+	}
+	for r := lo; r < hi; r++ {
+		var hdr [4]byte
+		hdr[0], hdr[1] = byte(q.Scales[r]), byte(q.Scales[r]>>8)
+		hdr[2], hdr[3] = byte(q.Biases[r]), byte(q.Biases[r]>>8)
+		dst = append(dst, hdr[:]...)
+		dst = append(dst, q.Packed[r*q.rowStride:(r+1)*q.rowStride]...)
+	}
+	return dst
+}
+
+// SetRowRange writes raw wire-layout rows starting at row lo and returns
+// how many rows it decoded.
+func (q *RowQuantized) SetRowRange(lo int, raw []byte) (int, error) {
+	stride := q.RowRangeStride()
+	if len(raw)%stride != 0 {
+		return 0, fmt.Errorf("quant: %d raw bytes not a multiple of row stride %d", len(raw), stride)
+	}
+	rows := len(raw) / stride
+	if lo < 0 || lo+rows > q.Rows {
+		return 0, fmt.Errorf("quant: row range [%d, %d) of %d", lo, lo+rows, q.Rows)
+	}
+	for i := 0; i < rows; i++ {
+		r := lo + i
+		src := raw[i*stride : (i+1)*stride]
+		q.Scales[r] = uint16(src[0]) | uint16(src[1])<<8
+		q.Biases[r] = uint16(src[2]) | uint16(src[3])<<8
+		copy(q.Packed[r*q.rowStride:(r+1)*q.rowStride], src[4:])
+	}
+	return rows, nil
+}
+
 // DequantizeRowInto decodes row r into dst, which must have length Cols.
 // This is the hot path used by quantized SLS lookups.
 func (q *RowQuantized) DequantizeRowInto(dst []float32, r int) {

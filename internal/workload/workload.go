@@ -14,6 +14,7 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -57,6 +58,10 @@ type Generator struct {
 	// diurnal enables sinusoidal request-size modulation across the
 	// stream, a light-weight stand-in for the five-day diurnal sampling.
 	diurnal bool
+	// zipf, when non-nil, draws raw sparse IDs from a Zipf distribution
+	// instead of uniform — the skewed row popularity of production sparse
+	// features that makes hot-row caching pay.
+	zipf *rand.Zipf
 }
 
 // NewGenerator returns a generator seeded independently of the model's
@@ -67,6 +72,20 @@ func NewGenerator(cfg model.Config, seed int64) *Generator {
 
 // EnableDiurnal turns on request-size modulation over the stream.
 func (g *Generator) EnableDiurnal() { g.diurnal = true }
+
+// EnableRowSkew draws raw sparse IDs Zipf(s)-distributed over the ID
+// space (s > 1; larger is more skewed) instead of uniform. Hot raw IDs
+// hash to a stable set of hot table rows, so a fixed seed still replays
+// an identical stream — only the row-popularity profile changes. It
+// panics for s ≤ 1: rand.NewZipf would return nil and the stream would
+// silently stay uniform while claiming skew.
+func (g *Generator) EnableRowSkew(s float64) {
+	z := rand.NewZipf(g.rng, s, 1, 1<<30-1)
+	if z == nil {
+		panic(fmt.Sprintf("workload: row skew s=%g must be > 1", s))
+	}
+	g.zipf = z
+}
 
 // ApplySkew returns a copy of the stream with per-table pooling scaled
 // by the given factors — injected hot-feature drift on a *fixed* trace.
@@ -157,7 +176,7 @@ func (g *Generator) drawBags(ts model.TableSpec, items int) []embedding.Bag {
 	if model.IsPerRequestTable(g.cfg.Name, ts.ID) {
 		// Per-request feature: one shared raw ID replicated per item,
 		// exactly one lookup's worth of pooling per item.
-		id := int32(g.rng.Intn(1 << 30))
+		id := g.drawID()
 		for i := range bags {
 			bags[i].Indices = []int32{id}
 		}
@@ -170,11 +189,20 @@ func (g *Generator) drawBags(ts model.TableSpec, items int) []embedding.Bag {
 		}
 		idx := make([]int32, n)
 		for j := range idx {
-			idx[j] = int32(g.rng.Intn(1 << 30))
+			idx[j] = g.drawID()
 		}
 		bags[i].Indices = idx
 	}
 	return bags
+}
+
+// drawID samples one raw sparse ID: uniform by default, Zipf-skewed when
+// EnableRowSkew is on.
+func (g *Generator) drawID() int32 {
+	if g.zipf != nil {
+		return int32(g.zipf.Uint64())
+	}
+	return int32(g.rng.Intn(1 << 30))
 }
 
 // poisson draws from Poisson(mean) — Knuth's method for small means, a
