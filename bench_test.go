@@ -16,6 +16,7 @@ package repro
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strconv"
 	"sync"
@@ -25,6 +26,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/frontend"
+	"repro/internal/nn"
+	"repro/internal/tensor"
 	"repro/internal/trace"
 )
 
@@ -156,6 +159,81 @@ func BenchmarkReshardOnline(b *testing.B) { runExperiment(b, "reshard") }
 // the migration identity check with the hot-row cache enabled.
 func BenchmarkTieredStorage(b *testing.B) { runExperiment(b, "tiered") }
 
+// BenchmarkDenseEngine regenerates the dense-engine sweep: blocked GEMM
+// GFLOP/s across batch × parallelism × MLP shape with the bitwise
+// serial/parallel identity check, plus e2e latency at both settings.
+func BenchmarkDenseEngine(b *testing.B) { runExperiment(b, "dense") }
+
+// denseOperands builds deterministic GEMM operands for the dense-path
+// benchmarks.
+func denseOperands(m, k, n int) (a, b *tensor.Matrix) {
+	rng := rand.New(rand.NewSource(1234))
+	a, b = tensor.New(m, k), tensor.New(k, n)
+	for i := range a.Data {
+		a.Data[i] = rng.Float32()*2 - 1
+	}
+	for i := range b.Data {
+		b.Data[i] = rng.Float32()*2 - 1
+	}
+	return a, b
+}
+
+// BenchmarkDenseGEMM measures the blocked GEMM on a coalesced-batch
+// serving shape (64 rows through DRM1's 418->256 top layer) on the
+// serial path and at full parallelism. The two must produce bitwise
+// identical outputs; only the wall clock may differ.
+func BenchmarkDenseGEMM(b *testing.B) {
+	a, w := denseOperands(64, 418, 256)
+	out := tensor.New(64, 256)
+	for _, tc := range []struct {
+		name string
+		par  int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(tc.name, func(b *testing.B) {
+			tensor.SetParallelism(tc.par)
+			defer tensor.SetParallelism(0)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				tensor.MatMul(out, a, w)
+			}
+			flops := 2 * 64 * 418 * 256
+			b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkFusedFC compares the fused FC+bias+ReLU operator against the
+// unfused FC → Activation pair it replaced in the engine's compiled MLP
+// stacks, at a batch-64 serving shape.
+func BenchmarkFusedFC(b *testing.B) {
+	in, w := denseOperands(64, 418, 256)
+	bias := make([]float32, 256)
+	ws := nn.NewWorkspace()
+	ws.SetBlob("in", in)
+	fused := &nn.FusedFC{OpName: "f", W: w, B: bias, Act: nn.ActReLU, Input: "in", Output: "out"}
+	fc := &nn.FC{OpName: "fc", W: w, B: bias, Input: "in", Output: "out"}
+	act := &nn.Activation{OpName: "act", Func: nn.ActReLU, Blob: "out"}
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fused.Run(ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unfused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := fc.Run(ws); err != nil {
+				b.Fatal(err)
+			}
+			if err := act.Run(ws); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // nopExec is a zero-cost executor isolating the serving frontend's own
 // hot path (queue, gather, admission, demux) from engine time.
 type nopExec struct{}
@@ -218,7 +296,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig3", "fig4", "fig5", "tab2", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab3",
-		"repl", "front", "reshard", "tiered",
+		"repl", "front", "reshard", "tiered", "dense",
 	}
 	all := experiments.All()
 	if len(all) != len(want) {

@@ -31,6 +31,7 @@ import (
 	"repro/internal/replication"
 	"repro/internal/rpc"
 	"repro/internal/sharding"
+	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -68,8 +69,16 @@ func main() {
 		cacheMB   = flag.Float64("cache-mb", 0, "sparse role: hot-row cache budget in MiB, apportioned across tables by measured load (0 disables)")
 		coldPrec  = flag.String("cold-precision", "fp32", "sparse role: cold-tier storage precision: fp32, fp16, or int8")
 		errBudget = flag.Float64("error-budget", 0, "sparse role: max quantization error as a fraction of value scale (0 = default 1/250)")
+
+		// Dense compute engine (main role runs the MLP stacks): per-GEMM
+		// worker fan-out and row-tile height. Outputs are bitwise
+		// identical at every setting.
+		densePar  = flag.Int("dense-par", 0, "dense GEMM workers per multiply: 0 = GOMAXPROCS, 1 = serial")
+		gemmBlock = flag.Int("gemm-block", 0, "dense GEMM row-tile height per worker claim (0 = default)")
 	)
 	flag.Parse()
+	tensor.SetParallelism(*densePar)
+	tensor.SetBlockRows(*gemmBlock)
 
 	var m *model.Model
 	if *modelFile != "" {

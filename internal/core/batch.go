@@ -48,10 +48,14 @@ func (e *Engine) ExecuteBatch(items []BatchItem) ([][]float32, error) {
 		total += int(it.Req.Items)
 	}
 
-	combined := e.coalesce(items, total)
+	combined, bufs := e.coalesce(items, total)
 	start := e.cfg.Recorder.Now()
 	scores, err := e.executeValidated(items[0].Ctx, combined)
 	dur := e.cfg.Recorder.Now().Sub(start)
+	// The execution is over and nothing below retains the combined
+	// request's tensors or bag slices, so its buffers can back the next
+	// coalesced batch.
+	defer e.putCombined(bufs)
 	// Demux the execution span per request: every coalesced request rode
 	// the same engine execution, so each one's trace shows the full
 	// coalesced service time under its own trace id.
@@ -70,38 +74,85 @@ func (e *Engine) ExecuteBatch(items []BatchItem) ([][]float32, error) {
 	off := 0
 	for i, it := range items {
 		n := int(it.Req.Items)
-		out[i] = scores[off : off+n : off+n]
+		// Copy per request: a full-capacity subslice would alias every
+		// response to one backing array, so a caller retaining one
+		// response would pin the whole coalesced batch's scores (and a
+		// caller growing one could reach its neighbors').
+		out[i] = append(make([]float32, 0, n), scores[off:off+n]...)
 		off += n
 	}
 	return out, nil
 }
 
-// coalesce concatenates the items' validated requests into one combined
-// request of `total` items, in item order.
-func (e *Engine) coalesce(items []BatchItem, total int) *RankingRequest {
-	combined := &RankingRequest{
-		ID:    items[0].Req.ID,
-		Items: int32(total),
-		Dense: make(map[string]*tensor.Matrix, len(e.model.Config.Nets)),
-		Bags:  make(map[int32][]embedding.Bag, len(e.model.Config.Tables)),
+// combinedBufs holds one recyclable coalesced request: the request
+// struct itself (with its maps and matrix headers) plus the dense slabs
+// backing its tensors. Only the capacities and map keys matter across
+// uses; contents are rewritten every batch.
+type combinedBufs struct {
+	req   RankingRequest
+	dense map[string][]float32
+}
+
+// putCombined parks bufs for reuse, first dropping the Bag structs so a
+// parked pool entry does not pin the previous batch's requests (their
+// Indices arrays) until the next burst. The dense slabs are pool-owned
+// floats with no outside references and are kept as-is.
+func (e *Engine) putCombined(bufs *combinedBufs) {
+	for tid, bags := range bufs.req.Bags {
+		clear(bags[:cap(bags)])
+		bufs.req.Bags[tid] = bags[:0]
 	}
+	e.combined.Put(bufs)
+}
+
+// coalesce concatenates the items' validated requests into one combined
+// request of `total` items, in item order, drawing the request, its
+// maps and headers, and its backing buffers from the engine's pool so
+// steady-state batching does not reallocate the combined tensors. The
+// caller returns bufs to the pool once the execution has fully
+// completed.
+func (e *Engine) coalesce(items []BatchItem, total int) (*RankingRequest, *combinedBufs) {
+	bufs, _ := e.combined.Get().(*combinedBufs)
+	if bufs == nil {
+		bufs = &combinedBufs{
+			req: RankingRequest{
+				Dense: make(map[string]*tensor.Matrix, len(e.model.Config.Nets)),
+				Bags:  make(map[int32][]embedding.Bag, len(e.model.Config.Tables)),
+			},
+			dense: make(map[string][]float32, len(e.model.Config.Nets)),
+		}
+	}
+	combined := &bufs.req
+	combined.ID = items[0].Req.ID
+	combined.Items = int32(total)
 	for _, ns := range e.model.Config.Nets {
-		m := tensor.New(total, ns.DenseDim)
+		need := total * ns.DenseDim
+		buf := bufs.dense[ns.Name]
+		if cap(buf) < need {
+			buf = make([]float32, need)
+		}
+		buf = buf[:need]
+		bufs.dense[ns.Name] = buf
 		off := 0
 		for _, it := range items {
 			src := it.Req.Dense[ns.Name]
-			copy(m.Data[off:off+len(src.Data)], src.Data)
+			copy(buf[off:off+len(src.Data)], src.Data)
 			off += len(src.Data)
 		}
-		combined.Dense[ns.Name] = m
+		m := combined.Dense[ns.Name]
+		if m == nil {
+			m = &tensor.Matrix{}
+			combined.Dense[ns.Name] = m
+		}
+		m.Rows, m.Cols, m.Data = total, ns.DenseDim, buf
 	}
 	for _, t := range e.model.Config.Tables {
 		tid := int32(t.ID)
-		bags := make([]embedding.Bag, 0, total)
+		bags := combined.Bags[tid][:0]
 		for _, it := range items {
 			bags = append(bags, it.Req.Bags[tid]...)
 		}
 		combined.Bags[tid] = bags
 	}
-	return combined
+	return combined, bufs
 }

@@ -10,7 +10,6 @@ import (
 	"repro/internal/nn"
 	"repro/internal/rpc"
 	"repro/internal/sharding"
-	"repro/internal/tensor"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -50,13 +49,21 @@ type Engine struct {
 	// precomputed so per-batch op assembly does no string formatting.
 	rawNames    []string
 	hashedNames []string
+	// combined recycles the coalesced-request buffers ExecuteBatch
+	// assembles (batch.go); shapes depend only on the model, so the pool
+	// survives reroutes.
+	combined sync.Pool
 }
 
 // engineProgram is one compiled routing generation: the plan and its
-// per-net programs, swapped as a unit.
+// per-net programs, swapped as a unit, plus the workspace-arena pool
+// built from the program's dense-blob liveness (schedule.go) — batches
+// executing under this generation draw their dense output blobs from
+// recycled slabs instead of allocating.
 type engineProgram struct {
-	plan *sharding.Plan
-	nets []*netProgram
+	plan   *sharding.Plan
+	nets   []*netProgram
+	arenas *nn.ArenaPool
 }
 
 // netProgram is the compiled form of one net under the plan. Static
@@ -183,6 +190,11 @@ func (e *Engine) compile(plan *sharding.Plan) (*engineProgram, error) {
 		prevOut = np.outBlob
 		prog.nets = append(prog.nets, np)
 	}
+	sched, err := buildSchedule(prog)
+	if err != nil {
+		return nil, fmt.Errorf("core: blob schedule: %w", err)
+	}
+	prog.arenas = nn.NewArenaPool(sched)
 	return prog, nil
 }
 
@@ -266,8 +278,10 @@ func (e *Engine) compileOps(plan *sharding.Plan, np *netProgram, prevOut string)
 	cur := in
 	for li, fc := range np.params.Bottom {
 		out := fmt.Sprintf("bot%d_%s", li, netName)
-		pre = append(pre, &nn.FC{OpName: fmt.Sprintf("fc_bot%d_%s", li, netName), W: fc.W, B: fc.B, Input: cur, Output: out})
-		pre = append(pre, &nn.Activation{OpName: fmt.Sprintf("relu_bot%d_%s", li, netName), Func: nn.ActReLU, Blob: out})
+		pre = append(pre, &nn.FusedFC{
+			OpName: fmt.Sprintf("fc_bot%d_%s", li, netName),
+			W:      fc.W, B: fc.B, Act: nn.ActReLU, Input: cur, Output: out,
+		})
 		cur = out
 	}
 	bottom := cur
@@ -305,9 +319,12 @@ func (e *Engine) compileOps(plan *sharding.Plan, np *netProgram, prevOut string)
 		np.slsOp = sls
 	}
 
-	// --- postOps: projection, interaction, top MLP, output head. ---
+	// --- postOps: projection, interaction, top MLP, output head. The FC
+	// stacks compile to FusedFC: bias and activation run inside the GEMM
+	// workers' tile epilogues (bitwise identical to the FC → Activation
+	// pairs they replace), and outputs draw from the workspace arena. ---
 	var post []nn.Op
-	post = append(post, &nn.FC{OpName: "fc_proj_" + netName, W: np.params.Proj.W, B: np.params.Proj.B, Input: np.embBlob, Output: "proj_" + netName})
+	post = append(post, &nn.FusedFC{OpName: "fc_proj_" + netName, W: np.params.Proj.W, B: np.params.Proj.B, Input: np.embBlob, Output: "proj_" + netName})
 	inter := &nn.Interaction{OpName: "interact_" + netName, Passthrough: bottom, Output: "int_" + netName}
 	for _, t := range np.tables {
 		if np.interactSet[t.ID] {
@@ -321,13 +338,22 @@ func (e *Engine) compileOps(plan *sharding.Plan, np *netProgram, prevOut string)
 	cur = "top0_" + netName
 	for li, fc := range np.params.Top {
 		out := fmt.Sprintf("top%d_%s", li+1, netName)
-		post = append(post, &nn.FC{OpName: fmt.Sprintf("fc_top%d_%s", li, netName), W: fc.W, B: fc.B, Input: cur, Output: out})
-		if li < len(np.params.Top)-1 {
-			post = append(post, &nn.Activation{OpName: fmt.Sprintf("relu_top%d_%s", li, netName), Func: nn.ActReLU, Blob: out})
+		act := nn.ActNone
+		switch {
+		case li < len(np.params.Top)-1:
+			act = nn.ActReLU
+		case np.lastNet:
+			// The output head: the final FC fuses the sigmoid directly.
+			act = nn.ActSigmoid
 		}
+		post = append(post, &nn.FusedFC{
+			OpName: fmt.Sprintf("fc_top%d_%s", li, netName),
+			W:      fc.W, B: fc.B, Act: act, Input: cur, Output: out,
+		})
 		cur = out
 	}
-	if np.lastNet {
+	if np.lastNet && len(np.params.Top) == 0 {
+		// Degenerate top stack: nothing to fuse the head into.
 		post = append(post, &nn.Activation{OpName: "sigmoid_" + netName, Func: nn.ActSigmoid, Blob: cur})
 	}
 	post = append(post, &renameOp{name: "output_" + netName, from: cur, to: np.outBlob})
@@ -436,12 +462,23 @@ func (e *Engine) runBatch(prog *engineProgram, ctx trace.Context, req *RankingRe
 	obs := &trace.NetObserver{R: e.cfg.Recorder, Ctx: ctx}
 	batchItems := end - start
 
+	// One pooled arena per batch backs every scheduled dense blob; it is
+	// recycled after the scores are copied out, so steady-state dense
+	// execution allocates nothing. Nothing drawn from the arena may
+	// escape this function.
+	if arena := prog.arenas.Get(batchItems); arena != nil {
+		ws.SetArena(arena)
+		defer prog.arenas.Put(arena)
+	}
+
 	for _, ns := range e.model.Config.Nets {
 		m := req.Dense[ns.Name]
-		view := tensor.FromSlice(batchItems, m.Cols, m.Data[start*m.Cols:end*m.Cols])
-		// ScaleClip mutates in place; clone so concurrent batches do not
-		// stomp the shared request tensor.
-		ws.SetBlob("dense_"+ns.Name, view.Clone())
+		// ScaleClip mutates in place; copy this batch's rows (into the
+		// arena when scheduled) so concurrent batches do not stomp the
+		// shared request tensor.
+		dst := ws.AllocBlob("dense_"+ns.Name, batchItems, m.Cols)
+		copy(dst.Data, m.Data[start*m.Cols:end*m.Cols])
+		ws.SetBlob("dense_"+ns.Name, dst)
 	}
 	for _, t := range e.model.Config.Tables {
 		ws.SetBags(e.rawNames[t.ID], req.Bags[int32(t.ID)][start:end])

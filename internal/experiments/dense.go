@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/serve"
+	"repro/internal/sharding"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/workload"
+)
+
+// Dense characterizes the dense execution engine, the tier the paper's
+// Fig. 4 shows dominating per-request compute once sparse capacity is
+// scaled out. Part one is a GEMM sweep — coalesced-batch row count ×
+// worker parallelism × MLP layer shape (DRM1's bottom, projection, and
+// top layers) — reporting GFLOP/s and the parallel speedup over the
+// serial baseline, with a bitwise identity check between the two paths.
+// Part two replays the deterministic DRM1 request stream end to end at
+// both parallelism settings and compares client P50/P99 plus per-item
+// scores (which must be identical: the engine's determinism contract).
+func (r *Runner) Dense(w io.Writer) error {
+	writeHeader(w, "Dense engine: blocked GEMM throughput and e2e latency, serial vs parallel")
+	defer tensor.SetParallelism(0)
+	defer tensor.SetBlockRows(0)
+
+	maxPar := runtime.GOMAXPROCS(0)
+	pars := []int{1}
+	if maxPar > 1 {
+		pars = append(pars, maxPar)
+	}
+	fmt.Fprintf(w, "host: GOMAXPROCS=%d, gemm block rows=%d\n\n", maxPar, tensor.BlockRows())
+
+	// DRM1's dense layers: bottom MLP input, embedding projection, top
+	// MLP input (bottom 96 + proj 256 + 12·11/2 pairwise dots).
+	shapes := []struct {
+		name string
+		k, n int
+	}{
+		{"bottom 13->192", 13, 192},
+		{"proj 896->256", 896, 256},
+		{"top 418->256", 418, 256},
+	}
+	batches := []int{8, 64, 256}
+
+	fmt.Fprintf(w, "%-16s %-7s", "shape", "batch")
+	for _, p := range pars {
+		fmt.Fprintf(w, " par=%-2d GF/s ", p)
+	}
+	fmt.Fprintf(w, " %-8s %s\n", "speedup", "bitwise")
+	atLeastTwoX := true
+	for _, s := range shapes {
+		for _, m := range batches {
+			rng := rand.New(rand.NewSource(int64(7*s.k + m)))
+			a := tensor.New(m, s.k)
+			b := tensor.New(s.k, s.n)
+			for i := range a.Data {
+				a.Data[i] = rng.Float32()*2 - 1
+			}
+			for i := range b.Data {
+				b.Data[i] = rng.Float32()*2 - 1
+			}
+			flops := 2 * float64(m) * float64(s.k) * float64(s.n)
+			reps := int(100e6/flops) + 1
+
+			var ref *tensor.Matrix
+			gflops := make([]float64, len(pars))
+			identical := true
+			for pi, par := range pars {
+				tensor.SetParallelism(par)
+				out := tensor.New(m, s.n)
+				tensor.MatMul(out, a, b) // warm the worker pool and caches
+				t0 := time.Now()
+				for i := 0; i < reps; i++ {
+					tensor.MatMul(out, a, b)
+				}
+				gflops[pi] = flops * float64(reps) / time.Since(t0).Seconds() / 1e9
+				if ref == nil {
+					ref = out
+				} else {
+					for i := range ref.Data {
+						if math.Float32bits(out.Data[i]) != math.Float32bits(ref.Data[i]) {
+							identical = false
+							break
+						}
+					}
+				}
+			}
+			fmt.Fprintf(w, "%-16s %-7d", s.name, m)
+			for _, g := range gflops {
+				fmt.Fprintf(w, " %-11.2f ", g)
+			}
+			speedup := gflops[len(gflops)-1] / gflops[0]
+			if m >= 64 && len(pars) > 1 && speedup < 2 {
+				atLeastTwoX = false
+			}
+			fmt.Fprintf(w, " %-8s %v\n", fmt.Sprintf("%.2fx", speedup), identical)
+			if !identical {
+				return fmt.Errorf("dense: parallel GEMM diverged from serial at %s batch %d", s.name, m)
+			}
+		}
+	}
+	switch {
+	case len(pars) == 1:
+		fmt.Fprintln(w, "\nsingle-core host: parallel speedup not measurable (outputs still bitwise stable)")
+	case atLeastTwoX:
+		fmt.Fprintf(w, "\nparallel GEMM >= 2x serial at batch >= 64 across all MLP shapes (%d workers)\n", maxPar)
+	default:
+		fmt.Fprintf(w, "\nWARNING: parallel GEMM below 2x serial at batch >= 64 on this host (%d workers)\n", maxPar)
+	}
+
+	// --- End to end: the deterministic DRM1 stream through a singular
+	// deployment at both settings. Scores must match bitwise; latency
+	// quantiles show what the dense tier contributes on this host. ---
+	fmt.Fprintf(w, "\n%-8s %-10s %-10s %s\n", "par", "p50(ms)", "p99(ms)", "scores")
+	n := r.P.Requests
+	var refScores [][]float32
+	for _, par := range pars {
+		tensor.SetParallelism(par)
+		m := r.Model("DRM1")
+		cfg := m.Config
+		cl, err := cluster.Boot(m, sharding.Singular(&cfg), cluster.Options{Seed: r.P.Seed, BatchSize: 64})
+		if err != nil {
+			return err
+		}
+		client, err := cl.DialMain()
+		if err != nil {
+			cl.Close()
+			return err
+		}
+		rep := serve.NewReplayer(client)
+		gen := workload.NewGenerator(cfg, r.P.Seed+4242)
+		if warm := rep.RunSerial(gen.GenerateBatch(r.P.Warmup)); warm.Failed() > 0 {
+			client.Close()
+			cl.Close()
+			return fmt.Errorf("dense warmup: %v", warm.Errors[0])
+		}
+		var e2e []time.Duration
+		scores := make([][]float32, 0, n)
+		verdict := "reference"
+		match := true
+		for _, req := range gen.GenerateBatch(n) {
+			out, elapsed, err := rep.Send(req)
+			if err != nil {
+				client.Close()
+				cl.Close()
+				return fmt.Errorf("dense e2e par=%d: %w", par, err)
+			}
+			e2e = append(e2e, elapsed)
+			scores = append(scores, out)
+		}
+		client.Close()
+		cl.Close()
+		if refScores == nil {
+			refScores = scores
+		} else {
+			for i := range scores {
+				for j := range scores[i] {
+					if math.Float32bits(scores[i][j]) != math.Float32bits(refScores[i][j]) {
+						match = false
+					}
+				}
+			}
+			verdict = fmt.Sprintf("identical=%v", match)
+		}
+		sample := stats.NewDurationSample(e2e)
+		fmt.Fprintf(w, "%-8d %-10.2f %-10.2f %s\n", par, sample.P50()*1e3, sample.P99()*1e3, verdict)
+		if !match {
+			return fmt.Errorf("dense: e2e scores diverged between serial and parallel GEMM")
+		}
+	}
+	fmt.Fprintln(w, "\nReading: row-tiled GEMM spreads a coalesced batch across cores with\nbitwise-identical outputs; batch >= 64 amortizes dispatch so throughput\nscales with workers, while sub-threshold matrices stay on the serial path.")
+	return nil
+}

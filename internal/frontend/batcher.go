@@ -11,8 +11,21 @@ import (
 // batches and executes them. One goroutine owns the loop, so while the
 // executor runs, new arrivals accumulate in the queue and the next batch
 // is naturally larger — the classic adaptive-batching feedback.
+//
+// The item cap is clamped immediately after every append: the moment an
+// arrival crosses MaxBatchItems the batch ends, locally and explicitly,
+// rather than by falling back to the loop-head recheck — and an opener
+// already at the cap skips arming the gather window it could never use.
+// (An overshoot of a single request is inherent: a dequeued request must
+// be served with the batch that pulled it.) The gather timer is
+// allocated once and Reset per batch rather than allocated per batch.
 func (f *Frontend) run() {
 	defer f.wg.Done()
+	var timer *time.Timer
+	if f.cfg.BatchWait > 0 {
+		timer = time.NewTimer(f.cfg.BatchWait)
+		timer.Stop() // armed per batch via Reset
+	}
 	for {
 		p, ok := <-f.queue
 		if !ok {
@@ -21,10 +34,10 @@ func (f *Frontend) run() {
 		batch := []*pending{p}
 		items := int(p.item.Req.Items)
 
-		if f.cfg.BatchWait > 0 {
-			timer := time.NewTimer(f.cfg.BatchWait)
+		if timer != nil && items < f.cfg.MaxBatchItems {
+			timer.Reset(f.cfg.BatchWait)
 		gather:
-			for len(batch) < f.cfg.MaxBatchRequests && items < f.cfg.MaxBatchItems {
+			for len(batch) < f.cfg.MaxBatchRequests {
 				select {
 				case q, ok := <-f.queue:
 					if !ok {
@@ -32,14 +45,19 @@ func (f *Frontend) run() {
 					}
 					batch = append(batch, q)
 					items += int(q.item.Req.Items)
+					if items >= f.cfg.MaxBatchItems {
+						break gather
+					}
 				case <-timer.C:
 					break gather
 				}
 			}
+			// Go 1.23+ timers: Stop discards any pending fire, so the next
+			// Reset starts the window cleanly without draining the channel.
 			timer.Stop()
-		} else {
+		} else if timer == nil && items < f.cfg.MaxBatchItems {
 		drain:
-			for len(batch) < f.cfg.MaxBatchRequests && items < f.cfg.MaxBatchItems {
+			for len(batch) < f.cfg.MaxBatchRequests {
 				select {
 				case q, ok := <-f.queue:
 					if !ok {
@@ -47,6 +65,9 @@ func (f *Frontend) run() {
 					}
 					batch = append(batch, q)
 					items += int(q.item.Req.Items)
+					if items >= f.cfg.MaxBatchItems {
+						break drain
+					}
 				default:
 					break drain
 				}

@@ -1,0 +1,175 @@
+package nn
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// Workspace arenas give the dense execution path allocation-free steady
+// state. A model's compiled op sequence is scanned once for the dense
+// blobs whose shapes are statically known up to the batch row count
+// (every dense blob in a net shares rows = batch items); each blob gets a
+// liveness interval [def op, last use op], and interval-graph coloring
+// packs non-overlapping blobs into shared column lanes. At execution an
+// Arena backs the whole schedule with one pooled float32 slab: drawing a
+// blob is a slice expression, and a batch's entire dense traffic reuses
+// the slab of an earlier batch via a sync.Pool.
+
+// BlobSpec declares one schedulable blob: its width and the op-index
+// interval during which its storage must stay intact. Def is the index
+// of the op that produces it (-1 for blobs materialized before the net
+// runs); LastUse is the index of the last op that reads it (use a
+// past-the-end index for blobs read after the net finishes).
+type BlobSpec struct {
+	Name         string
+	Cols         int
+	Def, LastUse int
+}
+
+// lane is one column band of the slab shared by non-overlapping blobs.
+type lane struct {
+	off, cols int // column offset and width
+	freeAt    int // op index after which the lane is free again
+}
+
+// BlobSchedule maps blob names to slab placements. Immutable once built;
+// shared by every Arena drawn from one pool.
+type BlobSchedule struct {
+	slots     map[string]laneSlot
+	totalCols int
+}
+
+type laneSlot struct {
+	off, cols int
+}
+
+// NewBlobSchedule packs specs into lanes. Two blobs share a lane only
+// when their liveness intervals are disjoint even at the endpoints: a
+// blob defined at op i never reuses storage still readable at op i, so
+// an op can stream from its inputs into its output without aliasing.
+// Duplicate names or non-positive widths are rejected as compile bugs.
+func NewBlobSchedule(specs []BlobSpec) (*BlobSchedule, error) {
+	sorted := make([]BlobSpec, len(specs))
+	copy(sorted, specs)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Def < sorted[j].Def })
+
+	s := &BlobSchedule{slots: make(map[string]laneSlot, len(specs))}
+	var lanes []*lane
+	for _, sp := range sorted {
+		if sp.Cols <= 0 {
+			return nil, fmt.Errorf("nn: blob %q has width %d", sp.Name, sp.Cols)
+		}
+		if sp.LastUse < sp.Def {
+			return nil, fmt.Errorf("nn: blob %q dies (%d) before it is defined (%d)", sp.Name, sp.LastUse, sp.Def)
+		}
+		if _, dup := s.slots[sp.Name]; dup {
+			return nil, fmt.Errorf("nn: duplicate schedule entry for blob %q", sp.Name)
+		}
+		// Best fit among free lanes wide enough, else open a new lane;
+		// offsets are fixed at creation so earlier placements never move.
+		var best *lane
+		for _, ln := range lanes {
+			if ln.freeAt >= sp.Def || ln.cols < sp.Cols {
+				continue
+			}
+			if best == nil || ln.cols < best.cols {
+				best = ln
+			}
+		}
+		if best == nil {
+			best = &lane{off: s.totalCols, cols: sp.Cols, freeAt: -1}
+			lanes = append(lanes, best)
+			s.totalCols += sp.Cols
+		}
+		best.freeAt = sp.LastUse
+		s.slots[sp.Name] = laneSlot{off: best.off, cols: sp.Cols}
+	}
+	return s, nil
+}
+
+// Slots reports how many blobs the schedule manages (for tests).
+func (s *BlobSchedule) Slots() int { return len(s.slots) }
+
+// TotalCols reports the packed slab width in columns — the arena
+// footprint is TotalCols × rows floats, versus Σ blob widths × rows
+// without liveness reuse.
+func (s *BlobSchedule) TotalCols() int { return s.totalCols }
+
+// Arena backs one batch execution's scheduled blobs with a single slab.
+// Not safe for concurrent use; each batch draws its own from the pool.
+type Arena struct {
+	sched *BlobSchedule
+	rows  int
+	slab  []float32
+}
+
+// Blob returns the scheduled backing matrix for name, or nil when the
+// name is unscheduled or the requested shape disagrees with the schedule
+// — callers fall back to a fresh allocation, so a shape drift degrades
+// to the unpooled path instead of corrupting a neighbor. The returned
+// matrix holds stale bytes from prior draws; every scheduled producer
+// fully overwrites its output.
+func (a *Arena) Blob(name string, rows, cols int) *tensor.Matrix {
+	if a == nil {
+		return nil
+	}
+	slot, ok := a.sched.slots[name]
+	if !ok || rows != a.rows || cols != slot.cols {
+		return nil
+	}
+	base := slot.off * a.rows
+	return tensor.FromSlice(rows, cols, a.slab[base:base+rows*cols])
+}
+
+// Rows reports the batch row count the arena is sized for.
+func (a *Arena) Rows() int { return a.rows }
+
+// ArenaPool recycles arenas for one compiled program. Get sizes (or
+// grows) a pooled slab for the batch's row count; Put returns it. After
+// warmup every batch size seen in steady state executes without dense
+// allocations.
+type ArenaPool struct {
+	sched *BlobSchedule
+	pool  sync.Pool
+}
+
+// NewArenaPool builds a pool over a schedule; nil schedule gives a nil
+// pool, and every method on a nil pool is a safe no-op returning nil —
+// the engine runs unpooled.
+func NewArenaPool(sched *BlobSchedule) *ArenaPool {
+	if sched == nil {
+		return nil
+	}
+	return &ArenaPool{sched: sched}
+}
+
+// Get returns an arena sized for rows, reusing a pooled slab when large
+// enough.
+func (p *ArenaPool) Get(rows int) *Arena {
+	if p == nil {
+		return nil
+	}
+	need := rows * p.sched.totalCols
+	a, _ := p.pool.Get().(*Arena)
+	if a == nil {
+		a = &Arena{sched: p.sched}
+	}
+	if cap(a.slab) < need {
+		a.slab = make([]float32, need)
+	}
+	a.slab = a.slab[:need]
+	a.rows = rows
+	return a
+}
+
+// Put recycles an arena. The caller must not retain any matrix drawn
+// from it past Put.
+func (p *ArenaPool) Put(a *Arena) {
+	if p == nil || a == nil {
+		return
+	}
+	p.pool.Put(a)
+}

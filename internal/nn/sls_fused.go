@@ -92,7 +92,7 @@ func (o *FusedSLS) Run(ws *Workspace) error {
 			}
 		}
 		if e.CopyOut != "" {
-			small := tensor.New(rows, dim)
+			small := ws.AllocBlob(e.CopyOut, rows, dim)
 			for b := 0; b < rows; b++ {
 				copy(small.Row(b), emb.Row(b)[e.ColOffset:e.ColOffset+dim])
 			}
@@ -127,6 +127,8 @@ func (o *AllocEmb) Run(ws *Workspace) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", o.OpName, err)
 	}
-	ws.SetBlob(o.Output, tensor.New(len(bags), o.Cols))
+	// The SLS pools += into this blob, so it must start zeroed even when
+	// drawn from a dirty arena slab.
+	ws.SetBlob(o.Output, ws.AllocBlobZero(o.Output, len(bags), o.Cols))
 	return nil
 }

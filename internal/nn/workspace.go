@@ -26,6 +26,9 @@ type Workspace struct {
 	blobs   map[string]*tensor.Matrix
 	bags    map[string][]embedding.Bag
 	futures map[string]*Future
+	// arena, when set, backs scheduled output blobs so steady-state
+	// execution allocates nothing; see AllocBlob.
+	arena *Arena
 }
 
 // NewWorkspace returns an empty workspace.
@@ -39,6 +42,34 @@ func NewWorkspace() *Workspace {
 
 // SetBlob stores a dense blob under name, replacing any previous value.
 func (ws *Workspace) SetBlob(name string, m *tensor.Matrix) { ws.blobs[name] = m }
+
+// SetArena attaches a buffer arena for the run. Matrices drawn from it
+// are valid only until the arena returns to its pool; the engine owns
+// that lifecycle.
+func (ws *Workspace) SetArena(a *Arena) { ws.arena = a }
+
+// AllocBlob returns writable rows×cols output storage for name: from the
+// arena's blob schedule when one covers the name at this shape, else a
+// fresh zeroed allocation. Arena storage is dirty — the caller must
+// fully overwrite it. The blob is NOT yet registered; call SetBlob once
+// it is filled.
+func (ws *Workspace) AllocBlob(name string, rows, cols int) *tensor.Matrix {
+	if m := ws.arena.Blob(name, rows, cols); m != nil {
+		return m
+	}
+	return tensor.New(rows, cols)
+}
+
+// AllocBlobZero is AllocBlob for producers that accumulate instead of
+// overwrite: arena storage is cleared before return, fresh allocations
+// are already zero.
+func (ws *Workspace) AllocBlobZero(name string, rows, cols int) *tensor.Matrix {
+	if m := ws.arena.Blob(name, rows, cols); m != nil {
+		clear(m.Data)
+		return m
+	}
+	return tensor.New(rows, cols)
+}
 
 // Blob fetches a dense blob; it returns an error naming the blob if absent
 // so operator failures identify the broken wiring.

@@ -80,11 +80,28 @@ func (h *Hedged) race(req *rpc.Request, primary *rpc.Call, out *rpc.Call) {
 			return
 		}
 		// Primary failed outright: fail over without waiting for Delay.
-		// Not a hedge win — no race was run, no tail latency cut.
+		// Not a hedge win — no race was run, no tail latency cut. With
+		// more than two replicas the failover rotates through each
+		// remaining replica exactly once: the shared cursor is read once
+		// and the walk continues from it locally, so concurrent failovers
+		// cannot interleave increments and revisit the same dead replica.
+		// If every replica fails, the primary's error surfaces (the same
+		// primary-error-wins contract as the race below — the primary's
+		// diagnosis names the authoritative shard, replica errors are
+		// secondary).
 		h.failovers.Add(1)
-		hedge = h.issueHedge(req)
-		<-hedge.Done
-		finish(out, hedge)
+		base := h.next.Add(1)
+		for attempt := 0; attempt < len(h.Replicas)-1; attempt++ {
+			idx := 1 + int((base+uint64(attempt))%uint64(len(h.Replicas)-1))
+			h.hedges.Add(1)
+			hedge = h.Replicas[idx].Go(req)
+			<-hedge.Done
+			if hedge.Err == nil {
+				finish(out, hedge)
+				return
+			}
+		}
+		finish(out, primary)
 		return
 	case <-hedgeAfter:
 		hedge = h.issueHedge(req)
@@ -123,10 +140,13 @@ func (h *Hedged) CallSync(req *rpc.Request) (*rpc.Response, error) {
 	return call.Resp, call.Err
 }
 
-// issueHedge sends req to the next replica in rotation.
+// issueHedge sends req to the next replica in rotation. The rotation
+// counter reduces modulo the replica count in uint64 space before the
+// int conversion: converting a counter past MaxInt64 first would go
+// negative and index out of range (or hedge against the primary).
 func (h *Hedged) issueHedge(req *rpc.Request) *rpc.Call {
 	h.hedges.Add(1)
-	idx := 1 + int(h.next.Add(1))%(len(h.Replicas)-1)
+	idx := 1 + int(h.next.Add(1)%uint64(len(h.Replicas)-1))
 	return h.Replicas[idx].Go(req)
 }
 

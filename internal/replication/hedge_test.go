@@ -2,6 +2,7 @@ package replication
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -116,5 +117,112 @@ func TestHedgeSingleReplicaPassthrough(t *testing.T) {
 func TestNewHedgedRejectsEmpty(t *testing.T) {
 	if _, err := NewHedged(nil, time.Millisecond); err == nil {
 		t.Fatal("empty replica set must be rejected")
+	}
+}
+
+// TestFailoverSurfacesPrimaryError is the failover-path regression: when
+// the primary fails outright and the failover replica also fails, the
+// caller must see the primary's error (matching the documented
+// primary-error-wins contract of the race path), not the replica's.
+func TestFailoverSurfacesPrimaryError(t *testing.T) {
+	primErr := errors.New("primary down")
+	primary := &fakeCaller{tag: 1, err: primErr}
+	replica := &fakeCaller{tag: 2, err: errors.New("replica down")}
+	// Delay far beyond the test: only the immediate failover path runs.
+	h := hedged(t, time.Hour, primary, replica)
+	_, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if !errors.Is(err, primErr) {
+		t.Fatalf("err = %v, want primary's", err)
+	}
+	if h.Failovers() != 1 {
+		t.Errorf("failovers = %d, want 1", h.Failovers())
+	}
+}
+
+// TestFailoverRotatesThroughReplicas: with >2 replicas, a failover whose
+// first target also fails must try the remaining replicas before giving
+// up.
+func TestFailoverRotatesThroughReplicas(t *testing.T) {
+	// The rotation cursor walks r2, r3, then r1 from a fresh ring; make
+	// only the last-visited replica healthy so success requires visiting
+	// every remaining replica.
+	primary := &fakeCaller{tag: 1, err: errors.New("primary down")}
+	r1 := &fakeCaller{tag: 2}
+	r2 := &fakeCaller{tag: 3, err: errors.New("replica 2 down")}
+	r3 := &fakeCaller{tag: 4, err: errors.New("replica 3 down")}
+	h := hedged(t, time.Hour, primary, r1, r2, r3)
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if err != nil || resp.Body[0] != 2 {
+		t.Fatalf("resp = %+v, %v; want replica 2's answer", resp, err)
+	}
+	if r1.calls.Load() != 1 || r2.calls.Load() != 1 || r3.calls.Load() != 1 {
+		t.Errorf("rotation calls = %d/%d/%d, want 1/1/1",
+			r1.calls.Load(), r2.calls.Load(), r3.calls.Load())
+	}
+	// All replicas failing still surfaces the primary's error.
+	primErr := errors.New("primary down")
+	allDown := hedged(t, time.Hour,
+		&fakeCaller{tag: 1, err: primErr},
+		&fakeCaller{tag: 2, err: errors.New("r down")},
+		&fakeCaller{tag: 3, err: errors.New("r down")})
+	if _, err := allDown.CallSync(&rpc.Request{Method: "m", CallID: 8}); !errors.Is(err, primErr) {
+		t.Fatalf("err = %v, want primary's", err)
+	}
+}
+
+// TestFailoverRotationUnderConcurrency: concurrent failovers must each
+// visit every remaining replica once — a shared-counter walk would let
+// interleaved increments pin one call onto the same dead replica twice
+// and fail a request a healthy replica could have served.
+func TestFailoverRotationUnderConcurrency(t *testing.T) {
+	primary := &fakeCaller{tag: 1, err: errors.New("primary down")}
+	dead := &fakeCaller{tag: 2, err: errors.New("replica down")}
+	healthy := &fakeCaller{tag: 3}
+	h := hedged(t, time.Hour, primary, dead, healthy)
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: uint64(100 + i)})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if resp.Body[0] != 3 {
+				errs[i] = errors.New("answered by a dead caller")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("call %d: %v (rotation skipped the healthy replica)", i, err)
+		}
+	}
+}
+
+// TestHedgeRotationIndexOverflow is the uint64→int regression: a
+// rotation counter past MaxInt64 must still index a replica (the old
+// conversion-then-modulo went negative — out-of-range panic, or a
+// "hedge" sent back to the failed primary).
+func TestHedgeRotationIndexOverflow(t *testing.T) {
+	primary := &fakeCaller{tag: 1, err: errors.New("primary down")}
+	replicas := []rpc.Caller{primary,
+		&fakeCaller{tag: 2}, &fakeCaller{tag: 3}, &fakeCaller{tag: 4}}
+	h := hedged(t, time.Hour, replicas...)
+	h.next.Store(^uint64(0) - 8) // a few increments from wraparound
+	for i := 0; i < 20; i++ {
+		resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: uint64(10 + i)})
+		if err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if resp.Body[0] == 1 {
+			t.Fatalf("call %d answered by the failed primary: rotation indexed replica 0", i)
+		}
+	}
+	if primary.calls.Load() != 20 {
+		t.Errorf("primary calls = %d, want 20", primary.calls.Load())
 	}
 }

@@ -1,0 +1,207 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refMatMul is the original serial kernel, kept verbatim as the
+// determinism oracle: per element it accumulates over k ascending with
+// the same zero-skip, so the blocked/parallel engine must match it
+// bitwise.
+func refMatMul(dst, a, b *Matrix) {
+	n := b.Cols
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := range brow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		switch rng.Intn(8) {
+		case 0:
+			m.Data[i] = 0 // exercise the zero-skip on every path
+		case 1:
+			m.Data[i] = float32(rng.NormFloat64() * 1e-4)
+		default:
+			m.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+func bitsEqual(t *testing.T, name string, got, want *Matrix) {
+	t.Helper()
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("%s: shape %dx%d, want %dx%d", name, got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	for i := range want.Data {
+		if math.Float32bits(got.Data[i]) != math.Float32bits(want.Data[i]) {
+			t.Fatalf("%s: element %d = %x, want %x (not bitwise identical)",
+				name, i, math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+		}
+	}
+}
+
+// TestMatMulBitwiseMatchesReference sweeps odd shapes, zero-row/col
+// degenerate cases, and exact tile/block boundary sizes, checking the
+// engine against the reference kernel bitwise at several parallelism and
+// block-row settings.
+func TestMatMulBitwiseMatchesReference(t *testing.T) {
+	defer SetParallelism(0)
+	defer SetBlockRows(0)
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1},
+		{3, 5, 7},                      // odd everything
+		{17, 31, 13},                   // odd, spans unroll tail
+		{0, 8, 8},                      // zero rows
+		{8, 0, 8},                      // zero inner dim: dst must zero
+		{8, 8, 0},                      // zero cols
+		{defaultBlockRows, 64, 64},     // exactly one tile
+		{defaultBlockRows + 1, 64, 64}, // one tile + 1 row
+		{4 * defaultBlockRows, gemmKBlock, gemmColBlock}, // exact block boundaries
+		{64, gemmKBlock + 3, gemmColBlock + 5},           // just past block boundaries
+		{129, 97, 33},                                    // enough work to go parallel
+		{256, 512, 256},                                  // batch>=64 serving shape
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, s := range shapes {
+		a := randMatrix(rng, s.m, s.k)
+		b := randMatrix(rng, s.k, s.n)
+		want := New(s.m, s.n)
+		refMatMul(want, a, b)
+		for _, par := range []int{1, 2, 3, 8} {
+			for _, block := range []int{0, 1, 5, 64} {
+				SetParallelism(par)
+				SetBlockRows(block)
+				got := New(s.m, s.n)
+				// Dirty dst: the kernel must fully overwrite, not accumulate.
+				for i := range got.Data {
+					got.Data[i] = float32(math.NaN())
+				}
+				MatMul(got, a, b)
+				bitsEqual(t, fmt.Sprintf("%dx%dx%d par=%d block=%d", s.m, s.k, s.n, par, block), got, want)
+			}
+		}
+	}
+}
+
+// TestMatMulEpilogueCoversAllRowsOnce checks the fused-epilogue contract:
+// disjoint ranges covering every row exactly once, on both the serial and
+// parallel paths.
+func TestMatMulEpilogueCoversAllRowsOnce(t *testing.T) {
+	defer SetParallelism(0)
+	for _, par := range []int{1, 4} {
+		SetParallelism(par)
+		const rows = 70
+		a := randMatrix(rand.New(rand.NewSource(7)), rows, 40)
+		b := randMatrix(rand.New(rand.NewSource(8)), 40, 50)
+		dst := New(rows, 50)
+		mu := make(chan struct{}, 1)
+		mu <- struct{}{}
+		seen := make([]int, rows)
+		MatMulEpilogue(dst, a, b, func(i0, i1 int) {
+			<-mu
+			for r := i0; r < i1; r++ {
+				seen[r]++
+			}
+			mu <- struct{}{}
+		})
+		for r, c := range seen {
+			if c != 1 {
+				t.Fatalf("par=%d: row %d visited %d times", par, r, c)
+			}
+		}
+	}
+}
+
+// TestMatMulEpilogueFusionIdentity checks that fusing bias+ReLU into the
+// GEMM epilogue is bitwise identical to running them as separate passes.
+func TestMatMulEpilogueFusionIdentity(t *testing.T) {
+	defer SetParallelism(0)
+	rng := rand.New(rand.NewSource(99))
+	a := randMatrix(rng, 67, 33)
+	b := randMatrix(rng, 33, 29)
+	bias := make([]float32, 29)
+	for i := range bias {
+		bias[i] = float32(rng.NormFloat64())
+	}
+
+	SetParallelism(1)
+	want := New(67, 29)
+	MatMul(want, a, b)
+	AddBiasRows(want, bias)
+	ReLU(want)
+
+	SetParallelism(4)
+	got := New(67, 29)
+	MatMulEpilogue(got, a, b, func(i0, i1 int) {
+		for r := i0; r < i1; r++ {
+			row := got.Row(r)
+			for c := range row {
+				row[c] += bias[c]
+			}
+			ReLUSlice(row)
+		}
+	})
+	bitsEqual(t, "fused bias+relu", got, want)
+}
+
+// TestGEMMKnobs pins the knob semantics: zero restores defaults and the
+// getters report effective values.
+func TestGEMMKnobs(t *testing.T) {
+	defer SetParallelism(0)
+	defer SetBlockRows(0)
+	SetParallelism(3)
+	if Parallelism() != 3 {
+		t.Errorf("Parallelism() = %d, want 3", Parallelism())
+	}
+	SetParallelism(0)
+	if Parallelism() < 1 {
+		t.Errorf("default Parallelism() = %d, want >= 1", Parallelism())
+	}
+	SetBlockRows(5)
+	if BlockRows() != 5 {
+		t.Errorf("BlockRows() = %d, want 5", BlockRows())
+	}
+	SetBlockRows(-2)
+	if BlockRows() != defaultBlockRows {
+		t.Errorf("BlockRows() = %d, want default %d", BlockRows(), defaultBlockRows)
+	}
+}
+
+// TestConcatIntoAndPairwiseDotInto checks the in-place variants against
+// their allocating forms.
+func TestConcatIntoAndPairwiseDotInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := randMatrix(rng, 4, 3)
+	b := randMatrix(rng, 4, 5)
+	want := Concat(a, b)
+	got := New(4, 8)
+	ConcatInto(got, a, b)
+	bitsEqual(t, "concat", got, want)
+
+	feats := []*Matrix{randMatrix(rng, 6, 4), randMatrix(rng, 6, 4), randMatrix(rng, 6, 4)}
+	wantDots := PairwiseDot(feats)
+	gotDots := New(6, 3)
+	PairwiseDotInto(gotDots, feats)
+	bitsEqual(t, "pairwise", gotDots, wantDots)
+}

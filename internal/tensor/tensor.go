@@ -62,44 +62,28 @@ func (m *Matrix) Bytes() int64 { return int64(len(m.Data)) * 4 }
 func (m *Matrix) String() string { return fmt.Sprintf("Matrix(%dx%d)", m.Rows, m.Cols) }
 
 // MatMul computes dst = a × b for a (m×k) and b (k×n). dst must be m×n and
-// may not alias a or b. It panics on shape mismatch. The kernel blocks over
-// k in the inner loop with 4-wide unrolling; for the matrix sizes used by
-// the recommendation MLPs (tens to a few hundred wide) this is within a
-// small factor of what a tuned BLAS achieves, and more importantly its cost
-// scales with m·k·n so relative compute attributions are faithful.
-func MatMul(dst, a, b *Matrix) {
-	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
-		panic(fmt.Sprintf("tensor: MatMul shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
-			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
-	}
-	n := b.Cols
-	k := a.Cols
-	for i := 0; i < a.Rows; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := dst.Data[i*n : (i+1)*n]
-		for j := range drow {
-			drow[j] = 0
-		}
-		// Accumulate rank-1 updates row by row of b: cache-friendly for
-		// row-major operands.
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[p*n : (p+1)*n]
-			j := 0
-			for ; j+4 <= n; j += 4 {
-				drow[j] += av * brow[j]
-				drow[j+1] += av * brow[j+1]
-				drow[j+2] += av * brow[j+2]
-				drow[j+3] += av * brow[j+3]
-			}
-			for ; j < n; j++ {
-				drow[j] += av * brow[j]
-			}
-		}
-	}
+// may not alias a or b. It panics on shape mismatch. The cache-blocked
+// kernel (gemm.go) tiles rows of a across a GOMAXPROCS-sized worker pool
+// above a size threshold and runs inline below it; per-element accumulation
+// order is fixed, so results are bitwise identical at every parallelism
+// and block-size setting. For the matrix sizes used by the recommendation
+// MLPs this is within a small factor of what a tuned BLAS achieves, and
+// more importantly its cost scales with m·k·n so relative compute
+// attributions are faithful.
+func MatMul(dst, a, b *Matrix) { matmul(dst, a, b, nil) }
+
+// MatMulEpilogue is MatMul with a fused epilogue: after a row tile of dst
+// is fully accumulated, epi(i0, i1) runs on it — still inside the worker
+// that owns the tile, so bias addition and activations fuse into the GEMM
+// without an extra pass over dst. The epilogue is called with disjoint
+// row ranges covering [0, dst.Rows) exactly once and must touch only
+// those rows.
+func MatMulEpilogue(dst, a, b *Matrix, epi func(i0, i1 int)) { matmul(dst, a, b, epi) }
+
+// shapeErr formats the MatMul shape-mismatch panic.
+func shapeErr(op string, dst, a, b *Matrix) string {
+	return fmt.Sprintf("tensor: %s shape mismatch (%dx%d)·(%dx%d)->(%dx%d)",
+		op, a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols)
 }
 
 // AddBiasRows adds bias (length = m.Cols) to every row of m in place.
@@ -116,18 +100,26 @@ func AddBiasRows(m *Matrix, bias []float32) {
 }
 
 // ReLU applies max(0, x) elementwise in place.
-func ReLU(m *Matrix) {
-	for i, v := range m.Data {
+func ReLU(m *Matrix) { ReLUSlice(m.Data) }
+
+// ReLUSlice applies max(0, x) elementwise in place on a raw slice — the
+// row-range form fused GEMM epilogues use.
+func ReLUSlice(xs []float32) {
+	for i, v := range xs {
 		if v < 0 {
-			m.Data[i] = 0
+			xs[i] = 0
 		}
 	}
 }
 
 // Sigmoid applies the logistic function elementwise in place.
-func Sigmoid(m *Matrix) {
-	for i, v := range m.Data {
-		m.Data[i] = sigmoid32(v)
+func Sigmoid(m *Matrix) { SigmoidSlice(m.Data) }
+
+// SigmoidSlice applies the logistic function elementwise in place on a
+// raw slice.
+func SigmoidSlice(xs []float32) {
+	for i, v := range xs {
+		xs[i] = sigmoid32(v)
 	}
 }
 
@@ -157,15 +149,31 @@ func Concat(ms ...*Matrix) *Matrix {
 		cols += m.Cols
 	}
 	out := New(rows, cols)
-	for r := 0; r < rows; r++ {
+	ConcatInto(out, ms...)
+	return out
+}
+
+// ConcatInto concatenates matrices horizontally into dst, which must be
+// rows×Σcols. It panics on shape mismatch. dst may not alias an input.
+func ConcatInto(dst *Matrix, ms ...*Matrix) {
+	cols := 0
+	for _, m := range ms {
+		if m.Rows != dst.Rows {
+			panic(fmt.Sprintf("tensor: ConcatInto row mismatch %d != %d", m.Rows, dst.Rows))
+		}
+		cols += m.Cols
+	}
+	if cols != dst.Cols {
+		panic(fmt.Sprintf("tensor: ConcatInto dst has %d cols, inputs total %d", dst.Cols, cols))
+	}
+	for r := 0; r < dst.Rows; r++ {
 		off := 0
-		dst := out.Row(r)
+		out := dst.Row(r)
 		for _, m := range ms {
-			copy(dst[off:off+m.Cols], m.Row(r))
+			copy(out[off:off+m.Cols], m.Row(r))
 			off += m.Cols
 		}
 	}
-	return out
 }
 
 // PairwiseDot computes the DLRM-style feature interaction: given f feature
@@ -176,30 +184,54 @@ func PairwiseDot(feats []*Matrix) *Matrix {
 	if len(feats) == 0 {
 		return New(0, 0)
 	}
+	f := len(feats)
+	out := New(feats[0].Rows, f*(f-1)/2)
+	PairwiseDotInto(out, feats)
+	return out
+}
+
+// PairwiseDotInto is PairwiseDot writing into dst, which must be
+// rows × f·(f−1)/2 for f equal-shaped feature matrices. dst may not
+// alias an input.
+func PairwiseDotInto(dst *Matrix, feats []*Matrix) {
+	if len(feats) == 0 {
+		if dst.Rows != 0 || dst.Cols != 0 {
+			panic("tensor: PairwiseDotInto dst not empty for zero features")
+		}
+		return
+	}
 	rows, d := feats[0].Rows, feats[0].Cols
 	for _, m := range feats {
 		if m.Rows != rows || m.Cols != d {
-			panic(fmt.Sprintf("tensor: PairwiseDot shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, rows, d))
+			panic(fmt.Sprintf("tensor: PairwiseDotInto shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, rows, d))
 		}
 	}
 	f := len(feats)
-	outCols := f * (f - 1) / 2
-	out := New(rows, outCols)
+	if dst.Rows != rows || dst.Cols != f*(f-1)/2 {
+		panic(fmt.Sprintf("tensor: PairwiseDotInto dst %dx%d, want %dx%d", dst.Rows, dst.Cols, rows, f*(f-1)/2))
+	}
 	for r := 0; r < rows; r++ {
-		k := 0
-		dst := out.Row(r)
-		for i := 0; i < f; i++ {
-			ri := feats[i].Row(r)
-			for j := i + 1; j < f; j++ {
-				rj := feats[j].Row(r)
-				var acc float32
-				for c := 0; c < d; c++ {
-					acc += ri[c] * rj[c]
-				}
-				dst[k] = acc
-				k++
+		PairwiseDotRow(dst.Row(r), feats, r)
+	}
+}
+
+// PairwiseDotRow writes row r's f·(f−1)/2 upper-triangular pairwise dot
+// products into dst, which may be any slice of at least that length
+// (e.g. a column range of a wider row). It is the single accumulation
+// loop behind PairwiseDot and the engine's fused interaction op, so the
+// bitwise accumulation order cannot drift between them.
+func PairwiseDotRow(dst []float32, feats []*Matrix, r int) {
+	k := 0
+	for i := 0; i < len(feats); i++ {
+		ri := feats[i].Row(r)
+		for j := i + 1; j < len(feats); j++ {
+			rj := feats[j].Row(r)
+			var acc float32
+			for c := range ri {
+				acc += ri[c] * rj[c]
 			}
+			dst[k] = acc
+			k++
 		}
 	}
-	return out
 }
