@@ -164,6 +164,11 @@ func BenchmarkTieredStorage(b *testing.B) { runExperiment(b, "tiered") }
 // serial/parallel identity check, plus e2e latency at both settings.
 func BenchmarkDenseEngine(b *testing.B) { runExperiment(b, "dense") }
 
+// BenchmarkFaultTolerance regenerates the replica-failure sweep: kills ×
+// replica count × hedge delay with health ejection on/off, the SLA and
+// rebuild/rejoin timings, and the degraded-fleet score-identity check.
+func BenchmarkFaultTolerance(b *testing.B) { runExperiment(b, "fault") }
+
 // denseOperands builds deterministic GEMM operands for the dense-path
 // benchmarks.
 func denseOperands(m, k, n int) (a, b *tensor.Matrix) {
@@ -296,7 +301,7 @@ func TestExperimentRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig1", "fig3", "fig4", "fig5", "tab2", "fig6", "fig7", "fig8", "fig9",
 		"fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "tab3",
-		"repl", "front", "reshard", "tiered", "dense",
+		"repl", "front", "reshard", "tiered", "dense", "fault",
 	}
 	all := experiments.All()
 	if len(all) != len(want) {

@@ -59,6 +59,12 @@ func main() {
 		hedge     = flag.Duration("hedge", 0, "hedge sparse RPCs against a peer replica after this delay (needs repeated -peers names)")
 		maxInFly  = flag.Int("max-inflight", 0, "main role: reject requests beyond this many in flight (0 = unbounded)")
 
+		// Health-aware replica management (main role, with hedge
+		// replicas): eject a replica from the rotation after consecutive
+		// failures, re-admit it through probation probes.
+		healthFails = flag.Int("health-fails", 0, "eject a hedge replica after this many consecutive failures (0 disables; needs repeated -peers names)")
+		healthProbe = flag.Duration("health-probe", 0, "probation probe interval for ejected replicas (default 250ms)")
+
 		// Online resharding (main role): periodically collect the sparse
 		// shards' measured load and migrate tables live toward balance.
 		rebalEvery = flag.Duration("rebalance-every", 0, "main role: run a capacity-driven rebalance pass at this interval (0 disables)")
@@ -130,6 +136,8 @@ func main() {
 			sla:            *slaBudget,
 			hedge:          *hedge,
 			maxInFlight:    *maxInFly,
+			healthFails:    *healthFails,
+			healthProbe:    *healthProbe,
 			rebalanceEvery: *rebalEvery,
 			moveBudget:     *moveBudget,
 		}
@@ -234,6 +242,8 @@ type mainOptions struct {
 	sla            time.Duration
 	hedge          time.Duration
 	maxInFlight    int
+	healthFails    int
+	healthProbe    time.Duration
 	rebalanceEvery time.Duration
 	moveBudget     int
 }
@@ -255,6 +265,11 @@ func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bo
 			}
 			peerAddrs[name] = append(peerAddrs[name], addr)
 		}
+	}
+	if opts.healthFails > 0 && opts.hedge <= 0 {
+		// A silent replica produces no error to count; the breaker's
+		// slow strikes (and its bounded waits) hang off the hedge timer.
+		return nil, nil, fmt.Errorf("-health-fails requires -hedge > 0")
 	}
 	rec := trace.NewRecorder("main", 1<<18)
 	clients := make(map[string]rpc.Caller)
@@ -285,6 +300,14 @@ func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bo
 				h, err := replication.NewHedged(callers, opts.hedge)
 				if err != nil {
 					return nil, err
+				}
+				if opts.healthFails > 0 {
+					// Health-aware rotation: repeatedly failing replicas
+					// are ejected and re-admitted via probation probes.
+					h.Health = replication.NewHealthTracker(len(callers), replication.HealthConfig{
+						FailThreshold: opts.healthFails,
+						ProbeEvery:    opts.healthProbe,
+					})
 				}
 				caller = h
 			}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/frontend"
 	"repro/internal/model"
+	"repro/internal/netsim"
 	"repro/internal/platform"
 	"repro/internal/replication"
 	"repro/internal/rpc"
@@ -48,6 +49,14 @@ type Options struct {
 	// HedgeDelay, with SparseReplicas > 1, hedges sparse RPCs against a
 	// replica once the primary has been outstanding this long.
 	HedgeDelay time.Duration
+	// HealthFails, with SparseReplicas > 1, enables health-aware replica
+	// management: a replica that fails (or is hedged past while silent)
+	// this many calls in a row is ejected from the rotation until a
+	// probation probe succeeds. 0 disables ejection.
+	HealthFails int
+	// HealthProbe is how often an ejected replica is offered one probe
+	// request (default 250ms); only meaningful with HealthFails > 0.
+	HealthProbe time.Duration
 	// MainMaxInFlight bounds concurrent requests dispatched at the main
 	// shard's RPC server (0 = unbounded): transport-level backpressure.
 	MainMaxInFlight int
@@ -55,6 +64,21 @@ type Options struct {
 	// sparse shard: a hot-row cache byte budget in front of cold-tier
 	// storage encoded per the config's tier plan.
 	Tier *core.TierConfig
+}
+
+// sparseReplica is one serving replica of a sparse shard: a server, the
+// dialed client behind a swappable slot, and the table store it serves
+// (the shard's shared store, or a private one rebuilt from a peer after
+// ReplaceReplica). Guarded by Cluster.replicaMu.
+type sparseReplica struct {
+	shard   int // 0-based shard index
+	idx     int // replica index within the shard
+	store   *core.SparseShard
+	rec     *trace.Recorder
+	profile netsim.Profile
+	slot    *replication.Slot
+	srv     *rpc.Server // nil while killed
+	client  rpc.Caller  // nil while killed
 }
 
 // Cluster is a running deployment.
@@ -73,15 +97,25 @@ type Cluster struct {
 	Hedged map[string]*replication.Hedged
 
 	mainServer *rpc.Server
-	sparse     []*rpc.Server
-	shards     []*core.SparseShard
-	clients    map[string]rpc.Caller
+	// replicas holds every sparse serving replica, per shard.
+	replicas [][]*sparseReplica
+	// rebuilt tracks replacement table stores created by ReplaceReplica,
+	// closed with the cluster (the original shared stores live in shards).
+	rebuilt []*core.SparseShard
+	shards  []*core.SparseShard
+	clients map[string]rpc.Caller
 	// ctrlClients are plain (never hedged) connections the rebalancer's
 	// control plane uses: hedging a migrate.commit would re-issue it to a
 	// replica sharing the same table store and trip the protocol's
 	// commit-without-begin guard.
 	ctrlClients map[string]*rpc.Client
 
+	plat platform.Platform
+	opts Options
+
+	// replicaMu serializes failure injection and recovery against each
+	// other and against Close.
+	replicaMu sync.Mutex
 	// rebalanceMu serializes Rebalance passes (concurrent passes would
 	// plan against each other's in-flight moves).
 	rebalanceMu sync.Mutex
@@ -110,6 +144,12 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
+	if opts.HealthFails > 0 && opts.HedgeDelay <= 0 {
+		// Slow-strike detection hangs off the hedge timer: without it a
+		// silent replica produces no signal to count, and the breaker's
+		// wait bounds (multiples of the delay) vanish.
+		return nil, fmt.Errorf("cluster: HealthFails requires HedgeDelay > 0 (health ejection needs the hedge timer to detect silence)")
+	}
 
 	c := &Cluster{
 		Model:       m,
@@ -119,6 +159,8 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 		clients:     make(map[string]rpc.Caller),
 		ctrlClients: make(map[string]*rpc.Client),
 		Hedged:      make(map[string]*replication.Hedged),
+		plat:        plat,
+		opts:        opts,
 	}
 	c.MainRec = trace.NewRecorder("main", opts.SpanCapacity)
 	c.Collector.Attach(c.MainRec)
@@ -144,32 +186,30 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 			return nil, err
 		}
 		c.shards = shards
+		c.replicas = make([][]*sparseReplica, len(shards))
 		for i, sh := range shards {
 			sh.OpComputeScale = plat.OpComputeScale
 			// Replica servers share the shard's table store and recorder:
 			// sparse shards are stateless, so a replica is just another
-			// front door to identical data.
+			// front door to identical data. Each sits behind a swappable
+			// Slot so failure injection and recovery can tear a server
+			// down and splice a replacement in without touching the
+			// hedged caller above it.
 			callers := make([]rpc.Caller, 0, replicas)
 			for r := 0; r < replicas; r++ {
-				profile := plat.Network(opts.Seed + int64(i)*7919 + int64(r)*104729)
-				srv, err := rpc.NewServer("127.0.0.1:0", sh, rpc.ServerConfig{
-					Recorder:        recs[i],
-					ResponseLink:    profile.Response,
-					BoilerplateCost: platform.BaseBoilerplate,
-					ComputeScale:    plat.BoilerplateScale,
-				})
-				if err != nil {
-					return nil, fmt.Errorf("cluster: starting %s: %w", sh.ShardName, err)
+				rep := &sparseReplica{
+					shard: i, idx: r, store: sh, rec: recs[i],
+					profile: plat.Network(opts.Seed + int64(i)*7919 + int64(r)*104729),
 				}
-				c.sparse = append(c.sparse, srv)
+				if err := c.startReplica(rep); err != nil {
+					return nil, err
+				}
+				rep.slot = replication.NewSlot(rep.client)
+				c.replicas[i] = append(c.replicas[i], rep)
 				if r == 0 {
-					c.Registry.Register(sh.ShardName, srv.Addr())
+					c.Registry.Register(sh.ShardName, rep.srv.Addr())
 				}
-				client, err := rpc.Dial(srv.Addr(), profile.Request)
-				if err != nil {
-					return nil, fmt.Errorf("cluster: dialing %s: %w", sh.ShardName, err)
-				}
-				callers = append(callers, client)
+				callers = append(callers, rep.slot)
 			}
 			if replicas == 1 {
 				c.clients[sh.ShardName] = callers[0]
@@ -178,6 +218,12 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 			h, err := replication.NewHedged(callers, opts.HedgeDelay)
 			if err != nil {
 				return nil, err
+			}
+			if opts.HealthFails > 0 {
+				h.Health = replication.NewHealthTracker(len(callers), replication.HealthConfig{
+					FailThreshold: opts.HealthFails,
+					ProbeEvery:    opts.HealthProbe,
+				})
 			}
 			c.Hedged[sh.ShardName] = h
 			c.clients[sh.ShardName] = h
@@ -227,6 +273,27 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	return c, nil
 }
 
+// startReplica boots a server for the replica's store and dials its
+// client; the caller owns splicing the client into the replica's slot.
+func (c *Cluster) startReplica(rep *sparseReplica) error {
+	srv, err := rpc.NewServer("127.0.0.1:0", rep.store, rpc.ServerConfig{
+		Recorder:        rep.rec,
+		ResponseLink:    rep.profile.Response,
+		BoilerplateCost: platform.BaseBoilerplate,
+		ComputeScale:    c.plat.BoilerplateScale,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: starting %s replica %d: %w", rep.store.ShardName, rep.idx, err)
+	}
+	client, err := rpc.Dial(srv.Addr(), rep.profile.Request)
+	if err != nil {
+		srv.Close()
+		return fmt.Errorf("cluster: dialing %s replica %d: %w", rep.store.ShardName, rep.idx, err)
+	}
+	rep.srv, rep.client = srv, client
+	return nil
+}
+
 // touchTable walks a table's backing storage to fault it in.
 func touchTable(t interface{ Bytes() int64 }) {
 	switch tt := t.(type) {
@@ -264,15 +331,6 @@ func (c *Cluster) DialMain() (*rpc.Client, error) {
 // ResetTraces clears all recorded spans (used after warmup).
 func (c *Cluster) ResetTraces() { c.Collector.Reset() }
 
-// KillSparse abruptly stops the i-th sparse shard server (0-based), for
-// failure-injection tests: in a serving fleet shards "may fail and need
-// to restart".
-func (c *Cluster) KillSparse(i int) {
-	if i >= 0 && i < len(c.sparse) {
-		c.sparse[i].Close()
-	}
-}
-
 // Shards exposes the sparse shard services (nil for singular plans) —
 // tests and the rebalancer introspect epochs and load summaries.
 func (c *Cluster) Shards() []*core.SparseShard { return c.shards }
@@ -284,6 +342,20 @@ func (c *Cluster) Migrator() (*core.Migrator, error) {
 		return nil, fmt.Errorf("cluster: singular deployments have nothing to reshard")
 	}
 	mg := &core.Migrator{Engine: c.Engine, Rec: c.MainRec, Shards: make(map[int]core.ShardEndpoint)}
+	c.replicaMu.Lock()
+	defer c.replicaMu.Unlock()
+	// Online resharding commits table moves into one store per shard. A
+	// replica replaced after a failure serves its own rebuilt store, so
+	// a migration would update only one copy and the replicas would stop
+	// answering identically — refuse, exactly as drmserve refuses
+	// -rebalance-every with standalone hedge replicas.
+	for si, reps := range c.replicas {
+		for _, rep := range reps {
+			if rep.store != c.shards[si] {
+				return nil, fmt.Errorf("cluster: %s replica %d serves a store rebuilt from a peer; online resharding needs a homogeneous replica fleet", rep.store.ShardName, rep.idx)
+			}
+		}
+	}
 	for i := 0; i < c.Plan.NumShards; i++ {
 		name := core.ServiceName(i + 1)
 		addr, err := c.Registry.Lookup(name)
@@ -301,6 +373,45 @@ func (c *Cluster) Migrator() (*core.Migrator, error) {
 		mg.Shards[i+1] = core.ShardEndpoint{Service: name, Addr: addr, Caller: caller}
 	}
 	return mg, nil
+}
+
+// dropCtrlClient invalidates the cached control-plane connection for a
+// shard whose primary server changed (killed, revived, replaced): the
+// next Migrator build re-dials the registry's current address. Caller
+// holds replicaMu.
+func (c *Cluster) dropCtrlClient(name string) {
+	if cc, ok := c.ctrlClients[name]; ok {
+		cc.Close()
+		delete(c.ctrlClients, name)
+	}
+}
+
+// refreshRegistry keeps a shard's registered (control-plane) address on
+// a live server: when the current registration matches no live replica,
+// the first live one is registered and the cached control client
+// invalidated, so migration stays available through dead windows no
+// matter which replica died. A fully dark shard keeps its stale
+// registration. Caller holds replicaMu.
+func (c *Cluster) refreshRegistry(shard int) {
+	name := c.shards[shard].ShardName
+	cur, err := c.Registry.Lookup(name)
+	live := ""
+	for _, p := range c.replicas[shard] {
+		if p.srv == nil {
+			continue
+		}
+		if err == nil && p.srv.Addr() == cur {
+			return // already registered to a live server
+		}
+		if live == "" {
+			live = p.srv.Addr()
+		}
+	}
+	if live == "" {
+		return
+	}
+	c.Registry.Register(name, live)
+	c.dropCtrlClient(name)
 }
 
 // Rebalance runs one observe→plan→migrate→cutover pass against the
@@ -365,11 +476,23 @@ func (c *Cluster) Close() {
 	for _, cl := range c.clients {
 		cl.Close()
 	}
+	c.replicaMu.Lock()
+	defer c.replicaMu.Unlock()
 	for _, cl := range c.ctrlClients {
 		cl.Close()
 	}
-	for _, s := range c.sparse {
-		s.Close()
+	for _, reps := range c.replicas {
+		for _, rep := range reps {
+			if rep.srv != nil {
+				rep.srv.Close()
+			}
+			if rep.client != nil {
+				rep.client.Close()
+			}
+		}
+	}
+	for _, sh := range c.rebuilt {
+		sh.Close()
 	}
 	for _, sh := range c.shards {
 		sh.Close()

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/replication"
+	"repro/internal/rpc"
+)
+
+// Failure injection and recovery orchestration: the cluster-level hooks
+// the fault experiment and the chaos tests drive. A replica is killed by
+// tearing its server down and swapping an unresponsive caller into its
+// slot — in-flight calls fail promptly (failover rescues them) and new
+// calls to that replica go silent, the failure mode a partitioned or
+// hung server presents and the one health ejection exists for. Recovery
+// is either a revive (a new server over the shard's shared store — the
+// process restarted) or a replace (a fresh, empty store rebuilt
+// byte-identically from a healthy peer over the sparse.snapshot.*
+// surface — the machine was lost).
+
+// replica validates indices and returns the addressed replica. Caller
+// holds replicaMu.
+func (c *Cluster) replica(shard, idx int) (*sparseReplica, error) {
+	if shard < 0 || shard >= len(c.replicas) {
+		return nil, fmt.Errorf("cluster: no sparse shard %d", shard)
+	}
+	if idx < 0 || idx >= len(c.replicas[shard]) {
+		return nil, fmt.Errorf("cluster: sparse%d has no replica %d", shard+1, idx)
+	}
+	return c.replicas[shard][idx], nil
+}
+
+// KillReplica tears down one sparse serving replica mid-traffic: the
+// server closes (its in-flight requests fail promptly and fail over),
+// and the replica's slot goes unresponsive, so anything still routed at
+// it — a health probe, or every call when ejection is disabled — hangs
+// until hedged past. Requires hedging (HedgeDelay > 0) on replicated
+// shards to mask the silence; on a sole replica the shard simply goes
+// dark.
+func (c *Cluster) KillReplica(shard, idx int) error {
+	c.replicaMu.Lock()
+	defer c.replicaMu.Unlock()
+	rep, err := c.replica(shard, idx)
+	if err != nil {
+		return err
+	}
+	if rep.srv == nil {
+		return fmt.Errorf("cluster: %s replica %d is already dead", core.ServiceName(shard+1), idx)
+	}
+	rep.slot.Swap(replication.Unresponsive())
+	rep.srv.Close()
+	rep.client.Close()
+	rep.srv, rep.client = nil, nil
+	// If the control plane was registered at the dead server, move it to
+	// a surviving replica (same shared store) so migration stays
+	// available through the dead window.
+	c.refreshRegistry(shard)
+	return nil
+}
+
+// ReviveReplica restarts a killed replica over its existing table store
+// (the shared shard store, or a previously rebuilt one): a new server
+// boots, a fresh client splices into the slot, and the next health
+// probe re-admits the replica to the rotation.
+func (c *Cluster) ReviveReplica(shard, idx int) error {
+	c.replicaMu.Lock()
+	defer c.replicaMu.Unlock()
+	rep, err := c.replica(shard, idx)
+	if err != nil {
+		return err
+	}
+	if rep.srv != nil {
+		return fmt.Errorf("cluster: %s replica %d is alive", core.ServiceName(shard+1), idx)
+	}
+	if err := c.startReplica(rep); err != nil {
+		return err
+	}
+	rep.slot.Swap(rep.client)
+	c.refreshRegistry(shard)
+	return nil
+}
+
+// ReplaceReplica stands up a replacement for a killed replica whose
+// storage is gone: a fresh, empty table store rebuilds itself from a
+// healthy peer replica of the same shard over the snapshot protocol
+// (byte-identical, cold-cached), then a new server over it splices into
+// the slot. The replacement has its own store from here on — the
+// rebuild path is exactly what a standalone drmserve replacement
+// process would run.
+func (c *Cluster) ReplaceReplica(shard, idx int) (core.RebuildStats, error) {
+	// Serialize against Rebalance (same order: rebalanceMu before
+	// replicaMu): rebuilding from a peer whose tables are mid-migration
+	// would snapshot a table set later commits no longer update, and the
+	// Migrator's homogeneous-fleet guard only protects future passes.
+	c.rebalanceMu.Lock()
+	defer c.rebalanceMu.Unlock()
+	c.replicaMu.Lock()
+	defer c.replicaMu.Unlock()
+	var st core.RebuildStats
+	rep, err := c.replica(shard, idx)
+	if err != nil {
+		return st, err
+	}
+	if rep.srv != nil {
+		return st, fmt.Errorf("cluster: %s replica %d is alive; kill it first", core.ServiceName(shard+1), idx)
+	}
+	var peer *sparseReplica
+	for _, p := range c.replicas[shard] {
+		if p != rep && p.srv != nil {
+			peer = p
+			break
+		}
+	}
+	if peer == nil {
+		return st, fmt.Errorf("cluster: %s has no healthy peer to rebuild from", core.ServiceName(shard+1))
+	}
+
+	fresh := core.NewSparseShard(rep.store.ShardName, rep.rec)
+	fresh.OpComputeScale = c.plat.OpComputeScale
+	if c.opts.Tier != nil {
+		fresh.SetTier(c.opts.Tier)
+	}
+	// Rebuild over a plain control-plane connection to the peer — the
+	// serving callers may be hedged, and a rebuild must stream from one
+	// consistent peer.
+	ctrl, err := rpc.DialPool(peer.srv.Addr(), nil, 1)
+	if err != nil {
+		fresh.Close()
+		return st, fmt.Errorf("cluster: dialing rebuild peer for %s: %w", rep.store.ShardName, err)
+	}
+	st, err = fresh.RebuildFromPeer(ctrl, 0)
+	ctrl.Close()
+	if err != nil {
+		fresh.Close()
+		return st, err
+	}
+
+	rep.store = fresh
+	c.rebuilt = append(c.rebuilt, fresh)
+	if err := c.startReplica(rep); err != nil {
+		return st, err
+	}
+	rep.slot.Swap(rep.client)
+	c.refreshRegistry(shard)
+	return st, nil
+}
+
+// ReplicaStore exposes the table store replica (shard, idx) currently
+// serves — the shared shard store, or its private rebuilt one — for
+// tests and experiments that assert on rebuild results.
+func (c *Cluster) ReplicaStore(shard, idx int) (*core.SparseShard, error) {
+	c.replicaMu.Lock()
+	defer c.replicaMu.Unlock()
+	rep, err := c.replica(shard, idx)
+	if err != nil {
+		return nil, err
+	}
+	return rep.store, nil
+}
+
+// HealthSnapshots reports every hedged service's replica-breaker state
+// (empty when replication or health tracking is off).
+func (c *Cluster) HealthSnapshots() map[string]replication.HealthSnapshot {
+	out := make(map[string]replication.HealthSnapshot, len(c.Hedged))
+	for name, h := range c.Hedged {
+		out[name] = h.HealthSnapshot()
+	}
+	return out
+}
+
+// KillSparse abruptly stops the i-th sparse server in boot order
+// (0-based, shard-major across replicas), for failure-injection tests
+// that want prompt connection failures: in a serving fleet shards "may
+// fail and need to restart". Unlike KillReplica it leaves the replica's
+// slot pointing at the dead client, so callers see errors, not silence.
+// The replica is marked dead like any other kill — Revive/Replace and
+// the peer scans treat it consistently.
+func (c *Cluster) KillSparse(i int) {
+	c.replicaMu.Lock()
+	defer c.replicaMu.Unlock()
+	n := 0
+	for shard, reps := range c.replicas {
+		for _, rep := range reps {
+			if n == i {
+				if rep.srv != nil {
+					rep.srv.Close()
+					rep.client.Close()
+					rep.srv, rep.client = nil, nil
+					c.refreshRegistry(shard)
+				}
+				return
+			}
+			n++
+		}
+	}
+}

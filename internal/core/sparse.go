@@ -212,6 +212,12 @@ func (s *SparseShard) Handle(ctx trace.Context, method string, body []byte) ([]b
 		return s.handleMigrateAbort(body)
 	case MethodMigrateForward:
 		return s.handleMigrateForward(body)
+	case MethodSnapshotList:
+		return s.handleSnapshotList(body)
+	case MethodSnapshotRead:
+		// Snapshot reads are migration reads over the whole table set:
+		// same codec, same encoding-aware row streaming.
+		return s.handleMigrateRead(ctx, body)
 	}
 	return nil, fmt.Errorf("core: %s: unknown method %q", s.ShardName, method)
 }

@@ -41,6 +41,7 @@ func All() []Experiment {
 		{"reshard", "Online resharding under load drift (skew × move budget)", func(r *Runner, w io.Writer) error { return r.Reshard(w) }},
 		{"tiered", "Tiered embedding storage (cache × precision × skew)", func(r *Runner, w io.Writer) error { return r.Tiered(w) }},
 		{"dense", "Dense engine (batch × parallelism × MLP shape, GEMM GFLOP/s + e2e)", func(r *Runner, w io.Writer) error { return r.Dense(w) }},
+		{"fault", "Fault tolerance (replica kills × count × hedge delay, SLA + rebuild)", func(r *Runner, w io.Writer) error { return r.Fault(w) }},
 	}
 }
 

@@ -16,20 +16,36 @@ import (
 // immediately. Sparse shards are stateless (Section III-A1), so replicas
 // answer identically and duplicated work is the only cost.
 //
+// With a HealthTracker attached, replica selection is health-aware:
+// ejected replicas are skipped by the primary pick, the hedge rotation,
+// and the failover walk, and are only offered the occasional probation
+// probe — so a dead replica costs one hedge delay per probe interval
+// instead of one per request. A delay-triggered hedge that wins while
+// the primary is still silent counts as a failure strike against the
+// primary: a hung server never returns an error to count, so losing the
+// race it was given a head start in is the signal.
+//
 // Hedged implements rpc.Caller, so the engine's RPC operators hedge
 // without knowing: cluster wiring hands the engine a Hedged instead of a
 // bare client.
 type Hedged struct {
-	// Replicas are callers to identical servers; Replicas[0] is primary.
+	// Replicas are callers to identical servers; Replicas[0] is the
+	// preferred primary.
 	Replicas []rpc.Caller
 	// Delay is how long to wait on the primary before hedging. <= 0
 	// disables hedging (failover still applies).
 	Delay time.Duration
+	// Health, when non-nil, ejects repeatedly failing replicas from the
+	// rotation (see HealthTracker). Set before the first call, and only
+	// with Delay > 0: slow-strike detection and the breaker's bounded
+	// waits both hang off the hedge timer.
+	Health *HealthTracker
 
-	next      atomic.Uint64 // rotates the hedge target
-	hedges    atomic.Int64
-	wins      atomic.Int64
-	failovers atomic.Int64
+	next             atomic.Uint64 // rotates the hedge/failover target
+	hedges           atomic.Int64
+	wins             atomic.Int64
+	failovers        atomic.Int64
+	failoverAttempts atomic.Int64
 }
 
 // NewHedged builds a hedged caller; it requires at least one replica.
@@ -40,8 +56,9 @@ func NewHedged(replicas []rpc.Caller, delay time.Duration) (*Hedged, error) {
 	return &Hedged{Replicas: replicas, Delay: delay}, nil
 }
 
-// Hedges reports how many hedge requests were issued (failovers
-// included).
+// Hedges reports how many delay-triggered hedge requests were issued.
+// Failover re-issues are counted separately (FailoverAttempts): mixing
+// them in would inflate the hedge rate the experiments report.
 func (h *Hedged) Hedges() int64 { return h.hedges.Load() }
 
 // Wins reports how many delay-triggered hedges answered before the
@@ -49,87 +66,283 @@ func (h *Hedged) Hedges() int64 { return h.hedges.Load() }
 // successes are counted separately (Failovers), not here.
 func (h *Hedged) Wins() int64 { return h.wins.Load() }
 
-// Failovers reports how many calls were re-issued because the primary
-// failed outright (as opposed to being slow).
+// Failovers reports how many calls entered the failover path because the
+// primary (and any racing hedge) failed outright.
 func (h *Hedged) Failovers() int64 { return h.failovers.Load() }
+
+// FailoverAttempts reports how many replica re-issues the failover walks
+// made — ≥ Failovers, since one failover rotates through every untried
+// replica until one answers.
+func (h *Hedged) FailoverAttempts() int64 { return h.failoverAttempts.Load() }
+
+// HealthSnapshot reports the replica set's breaker state (zero value
+// when no tracker is attached).
+func (h *Hedged) HealthSnapshot() HealthSnapshot {
+	if h.Health == nil {
+		return HealthSnapshot{}
+	}
+	return h.Health.Snapshot()
+}
 
 // Go implements rpc.Caller.
 func (h *Hedged) Go(req *rpc.Request) *rpc.Call {
-	primary := h.Replicas[0].Go(req)
 	if len(h.Replicas) == 1 {
-		return primary
+		return h.Replicas[0].Go(req)
 	}
+	pi := h.pickPrimary()
+	primary := h.Replicas[pi].Go(req)
 	out := &rpc.Call{Req: req, Done: make(chan struct{})}
-	go h.race(req, primary, out)
+	go h.race(req, pi, primary, out)
 	return out
+}
+
+// pickPrimary returns the first in-rotation replica, preferring the
+// configured primary — ejected replicas are not retried on every call,
+// they wait for their probation probe.
+func (h *Hedged) pickPrimary() int {
+	if h.Health == nil {
+		return 0
+	}
+	for i := range h.Replicas {
+		if h.Health.Allow(i) {
+			return i
+		}
+	}
+	// Everything ejected and no probe due: someone has to take the call.
+	return 0
 }
 
 // race resolves out with the first usable response from the primary or a
 // hedge replica. Using one call id on two connections is safe: pending
 // call tables are per connection.
-func (h *Hedged) race(req *rpc.Request, primary *rpc.Call, out *rpc.Call) {
+func (h *Hedged) race(req *rpc.Request, pi int, primary *rpc.Call, out *rpc.Call) {
 	var hedgeAfter <-chan struct{} // nil never fires: failover-only mode
 	if h.Delay > 0 {
 		hedgeAfter = netsim.After(h.Delay)
 	}
-	var hedge *rpc.Call
 	select {
 	case <-primary.Done:
+		h.report(pi, primary.Err == nil)
 		if primary.Err == nil {
 			finish(out, primary)
 			return
 		}
-		// Primary failed outright: fail over without waiting for Delay.
-		// Not a hedge win — no race was run, no tail latency cut. With
-		// more than two replicas the failover rotates through each
-		// remaining replica exactly once: the shared cursor is read once
-		// and the walk continues from it locally, so concurrent failovers
-		// cannot interleave increments and revisit the same dead replica.
-		// If every replica fails, the primary's error surfaces (the same
-		// primary-error-wins contract as the race below — the primary's
-		// diagnosis names the authoritative shard, replica errors are
-		// secondary).
+		// Primary failed outright: fail over without waiting for Delay,
+		// rotating through each remaining replica until one answers. If
+		// every replica fails, the primary's error surfaces (the
+		// primary's diagnosis names the authoritative shard; replica
+		// errors are secondary).
 		h.failovers.Add(1)
-		base := h.next.Add(1)
-		for attempt := 0; attempt < len(h.Replicas)-1; attempt++ {
-			idx := 1 + int((base+uint64(attempt))%uint64(len(h.Replicas)-1))
-			h.hedges.Add(1)
-			hedge = h.Replicas[idx].Go(req)
-			<-hedge.Done
-			if hedge.Err == nil {
-				finish(out, hedge)
-				return
-			}
+		if h.failover(req, pi, -1, out) {
+			return
 		}
 		finish(out, primary)
 		return
 	case <-hedgeAfter:
-		hedge = h.issueHedge(req)
 	}
 
-	// Both in flight: first success wins; two failures surface the
-	// primary's error.
+	hi, hedge := h.issueHedge(req, pi)
+	if hedge == nil {
+		// Unreachable with ≥2 replicas (the hedge walk degrades to an
+		// unfiltered rotation); kept as a defensive fallback.
+		<-primary.Done
+		h.report(pi, primary.Err == nil)
+		finish(out, primary)
+		return
+	}
+
+	// Both in flight: first success wins. With health tracking the race
+	// itself is bounded: two unresponsive racers (a multi-replica
+	// failure) must strike and fail over, not park the request forever.
+	var raceBound <-chan struct{}
+	if h.Health != nil {
+		raceBound = netsim.After(2 * h.Delay)
+	}
 	select {
+	case <-raceBound:
+		h.report(pi, false)
+		h.report(hi, false)
+		h.failovers.Add(1)
+		if h.failover(req, pi, hi, out) {
+			return
+		}
+		// Nothing else answered either; fall back to whichever racer
+		// speaks first — a struck racer may only have been slow.
+		h.awaitEither(pi, primary, hi, hedge, out)
 	case <-primary.Done:
+		h.report(pi, primary.Err == nil)
 		if primary.Err == nil {
+			// The hedge is abandoned, but its outcome must still be
+			// booked — a probation probe left unresolved would block
+			// every future probe for that replica.
+			h.resolveAbandoned(hi, hedge)
 			finish(out, primary)
 			return
 		}
-		<-hedge.Done
-		if hedge.Err == nil {
-			h.wins.Add(1)
+		// Primary errored mid-race: this is a failover (the primary
+		// answered first, so no tail latency was cut — a rescue here
+		// must not inflate Wins), with the already-issued hedge as the
+		// first candidate, then the rest of the rotation. This path must
+		// not give up after the hedge — the immediate-failover path
+		// above rotates through every replica, and the two must agree.
+		h.failovers.Add(1)
+		if h.awaitCall(hi, hedge) && hedge.Err == nil {
 			finish(out, hedge)
+			return
+		}
+		if h.failover(req, pi, hi, out) {
 			return
 		}
 		finish(out, primary)
 	case <-hedge.Done:
+		h.report(hi, hedge.Err == nil)
 		if hedge.Err == nil {
 			h.wins.Add(1)
+			h.strikeIfSilent(pi, primary)
 			finish(out, hedge)
 			return
 		}
-		<-primary.Done
+		// Hedge failed while the primary is still out: continue the
+		// failover through the untried replicas instead of parking on a
+		// possibly hung primary. The abandoned primary's outcome must
+		// still resolve — if it holds a probation probe, leaving it
+		// unreported would block every future probe for that replica.
+		h.failovers.Add(1)
+		if h.failover(req, pi, hi, out) {
+			h.resolveAbandoned(pi, primary)
+			return
+		}
+		h.await(pi, primary, out, hedge.Err)
+	}
+}
+
+// failover walks the rotation once, re-issuing req to every in-rotation
+// replica except pi (the failed primary) and skip (an already-tried
+// hedge), finishing out with the first success. The shared cursor is
+// read once and the walk continues from it locally, so concurrent
+// failovers cannot interleave increments and revisit the same dead
+// replica.
+func (h *Hedged) failover(req *rpc.Request, pi, skip int, out *rpc.Call) bool {
+	n := len(h.Replicas)
+	// Reduce the counter modulo n in uint64 space before the int
+	// conversion: converting a counter past MaxInt64 first would go
+	// negative and index out of range.
+	base := h.next.Add(1)
+	tried := make([]bool, n)
+	// Pass 0 honors health ejection; pass 1 (health only) retries the
+	// ejected leftovers — health steers routing, it must never be the
+	// reason a request fails when an out-of-rotation replica might still
+	// answer.
+	for pass := 0; pass < 2; pass++ {
+		for a := 0; a < n; a++ {
+			idx := int((base + uint64(a)) % uint64(n))
+			if idx == pi || idx == skip || tried[idx] {
+				continue
+			}
+			if pass == 0 && h.Health != nil && !h.Health.Allow(idx) {
+				continue
+			}
+			tried[idx] = true
+			h.failoverAttempts.Add(1)
+			call := h.Replicas[idx].Go(req)
+			if !h.awaitCall(idx, call) {
+				continue
+			}
+			if call.Err == nil {
+				finish(out, call)
+				return true
+			}
+		}
+		if h.Health == nil {
+			break
+		}
+	}
+	return false
+}
+
+// awaitCall waits for one replica call and reports its outcome. With a
+// health tracker and hedging enabled the wait is bounded by the hedge
+// delay — a hung replica must cost a strike, not a hung request; without
+// one, transport failures are prompt and the wait is plain.
+func (h *Hedged) awaitCall(idx int, call *rpc.Call) bool {
+	if h.Health != nil && h.Delay > 0 {
+		select {
+		case <-call.Done:
+		case <-netsim.After(h.Delay):
+			h.report(idx, false)
+			return false
+		}
+	} else {
+		<-call.Done
+	}
+	h.report(idx, call.Err == nil)
+	return true
+}
+
+// awaitEither resolves out from whichever racer answers first after the
+// bounded race and the failover walk both came up empty: the first
+// success wins, two failures surface the primary's error, and (with
+// health tracking) total silence surfaces a bounded timeout instead of
+// hanging the request. Both racers were already struck when the race
+// bound fired, so only successes are re-reported here — re-booking the
+// same failed call would double-count one bad request as two
+// consecutive-failure strikes.
+func (h *Hedged) awaitEither(pi int, primary *rpc.Call, hi int, hedge *rpc.Call, out *rpc.Call) {
+	var bound <-chan struct{}
+	if h.Health != nil && h.Delay > 0 {
+		bound = netsim.After(4 * h.Delay)
+	}
+	pDone, hDone := false, false
+	for !pDone || !hDone {
+		var pCh, hCh <-chan struct{}
+		if !pDone {
+			pCh = primary.Done
+		}
+		if !hDone {
+			hCh = hedge.Done
+		}
+		select {
+		case <-pCh:
+			pDone = true
+			if primary.Err == nil {
+				h.report(pi, true)
+				finish(out, primary)
+				return
+			}
+		case <-hCh:
+			hDone = true
+			if hedge.Err == nil {
+				h.report(hi, true)
+				finish(out, hedge)
+				return
+			}
+		case <-bound:
+			out.Err = fmt.Errorf("replication: no replica answered (waited a further %v after the bounded race)", 4*h.Delay)
+			close(out.Done)
+			return
+		}
+	}
+	// Both failed: the primary's error is authoritative.
+	finish(out, primary)
+}
+
+// await resolves out from the primary alone after every alternative has
+// been exhausted: the primary's answer (or error) is authoritative when
+// it arrives. With health tracking the wait is bounded — a hung primary
+// surfaces fallback instead of hanging the request.
+func (h *Hedged) await(pi int, primary *rpc.Call, out *rpc.Call, fallback error) {
+	var bound <-chan struct{}
+	if h.Health != nil && h.Delay > 0 {
+		bound = netsim.After(h.Delay)
+	}
+	select {
+	case <-primary.Done:
+		h.report(pi, primary.Err == nil)
 		finish(out, primary)
+	case <-bound:
+		h.report(pi, false)
+		out.Err = fallback
+		close(out.Done)
 	}
 }
 
@@ -140,14 +353,95 @@ func (h *Hedged) CallSync(req *rpc.Request) (*rpc.Response, error) {
 	return call.Resp, call.Err
 }
 
-// issueHedge sends req to the next replica in rotation. The rotation
-// counter reduces modulo the replica count in uint64 space before the
-// int conversion: converting a counter past MaxInt64 first would go
-// negative and index out of range (or hedge against the primary).
-func (h *Hedged) issueHedge(req *rpc.Request) *rpc.Call {
-	h.hedges.Add(1)
-	idx := 1 + int(h.next.Add(1)%uint64(len(h.Replicas)-1))
-	return h.Replicas[idx].Go(req)
+// issueHedge sends req to the next in-rotation replica after pi. When
+// every alternative is ejected the walk degrades to the unfiltered
+// rotation — losing hedge protection because the breaker is pessimistic
+// would be worse than hedging against a suspect replica.
+func (h *Hedged) issueHedge(req *rpc.Request, pi int) (int, *rpc.Call) {
+	n := len(h.Replicas)
+	base := h.next.Add(1)
+	for pass := 0; pass < 2; pass++ {
+		for a := 0; a < n; a++ {
+			idx := int((base + uint64(a)) % uint64(n))
+			if idx == pi {
+				continue
+			}
+			if pass == 0 && h.Health != nil && !h.Health.Allow(idx) {
+				continue
+			}
+			h.hedges.Add(1)
+			return idx, h.Replicas[idx].Go(req)
+		}
+		if h.Health == nil {
+			break
+		}
+	}
+	return -1, nil
+}
+
+// report books a call outcome with the health tracker, when present.
+func (h *Hedged) report(idx int, ok bool) {
+	if h.Health == nil {
+		return
+	}
+	if ok {
+		h.Health.ReportSuccess(idx)
+	} else {
+		h.Health.ReportFailure(idx)
+	}
+}
+
+// strikeIfSilent books a failure strike against the primary when a
+// delay-triggered hedge won and the primary still has not answered — a
+// hung server produces no error to count, and a primary that cannot
+// beat its own head start is not serving. The check is non-blocking: if
+// the primary answered in the meantime its real outcome is booked.
+func (h *Hedged) strikeIfSilent(pi int, primary *rpc.Call) {
+	if h.Health == nil {
+		return
+	}
+	select {
+	case <-primary.Done:
+		h.report(pi, primary.Err == nil)
+	default:
+		// The primary had a full hedge delay of head start plus the
+		// hedge's service time and is still silent: strike now.
+		h.report(pi, false)
+	}
+}
+
+// resolveAbandoned books an outcome for a just-issued hedge the race no
+// longer waits on (the primary answered first). A completed call
+// reports its real result; a still-silent one gets one hedge delay —
+// off the request path — to answer before it is booked as a failure
+// strike. The grace window matters for probation probes issued as
+// hedges: the primary often answers moments after the hedge was issued,
+// and striking the probe instantly would mean a recovered replica could
+// never prove itself. The extra goroutine is bounded by the delay
+// timer, so an unresponsive replica cannot pin it.
+func (h *Hedged) resolveAbandoned(idx int, call *rpc.Call) {
+	if h.Health == nil {
+		return
+	}
+	select {
+	case <-call.Done:
+		h.report(idx, call.Err == nil)
+		return
+	default:
+	}
+	if h.Delay <= 0 {
+		h.report(idx, false)
+		return
+	}
+	bound := netsim.After(h.Delay)
+	go func() {
+		select {
+		case <-call.Done:
+			h.report(idx, call.Err == nil)
+		case <-bound:
+			h.report(idx, false)
+		}
+	}()
 }
 
 func finish(out *rpc.Call, from *rpc.Call) {

@@ -86,8 +86,14 @@ func TestHedgeFailsOverImmediately(t *testing.T) {
 	if err != nil || resp.Body[0] != 2 {
 		t.Fatalf("resp = %+v, %v", resp, err)
 	}
-	if h.Hedges() != 1 {
-		t.Errorf("hedges = %d, want 1", h.Hedges())
+	// Counter-semantics regression: a failover re-issue is not a hedge —
+	// counting it under Hedges() inflated the hedge rate the experiments
+	// report.
+	if h.Hedges() != 0 {
+		t.Errorf("hedges = %d, want 0 (failover must not count as hedging)", h.Hedges())
+	}
+	if h.Failovers() != 1 || h.FailoverAttempts() != 1 {
+		t.Errorf("failovers = %d attempts = %d, want 1/1", h.Failovers(), h.FailoverAttempts())
 	}
 }
 
@@ -143,14 +149,15 @@ func TestFailoverSurfacesPrimaryError(t *testing.T) {
 // first target also fails must try the remaining replicas before giving
 // up.
 func TestFailoverRotatesThroughReplicas(t *testing.T) {
-	// The rotation cursor walks r2, r3, then r1 from a fresh ring; make
-	// only the last-visited replica healthy so success requires visiting
-	// every remaining replica.
+	// Pin the rotation so the walk visits r2, r3, then r1: only the
+	// last-visited replica is healthy, so success requires visiting every
+	// remaining replica.
 	primary := &fakeCaller{tag: 1, err: errors.New("primary down")}
 	r1 := &fakeCaller{tag: 2}
 	r2 := &fakeCaller{tag: 3, err: errors.New("replica 2 down")}
 	r3 := &fakeCaller{tag: 4, err: errors.New("replica 3 down")}
 	h := hedged(t, time.Hour, primary, r1, r2, r3)
+	h.next.Store(1) // failover walk starts at index 2
 	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
 	if err != nil || resp.Body[0] != 2 {
 		t.Fatalf("resp = %+v, %v; want replica 2's answer", resp, err)
@@ -224,5 +231,191 @@ func TestHedgeRotationIndexOverflow(t *testing.T) {
 	}
 	if primary.calls.Load() != 20 {
 		t.Errorf("primary calls = %d, want 20", primary.calls.Load())
+	}
+}
+
+// TestRaceFailoverContinuesThroughReplicas is the delay-race regression:
+// when the hedge timer fires and *both* the primary and the hedge
+// replica fail, the race path must keep rotating through the untried
+// replicas (as the immediate-failover path does) instead of surfacing
+// the primary's error with a healthy replica left unasked.
+func TestRaceFailoverContinuesThroughReplicas(t *testing.T) {
+	// Primary errors slowly so the hedge timer fires first; the rotation
+	// is pinned so the hedge lands on the dead replica and only the
+	// failover continuation can reach the healthy one.
+	primary := &fakeCaller{tag: 1, delay: 20 * time.Millisecond, err: errors.New("primary down")}
+	dead := &fakeCaller{tag: 2, err: errors.New("replica down")}
+	healthy := &fakeCaller{tag: 3}
+	h := hedged(t, 2*time.Millisecond, primary, dead, healthy)
+	h.next.Store(0) // first hedge candidate after the bump is index 1 (dead)
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if err != nil || resp.Body[0] != 3 {
+		t.Fatalf("resp = %+v, %v; want the healthy replica's answer", resp, err)
+	}
+	if dead.calls.Load() != 1 || healthy.calls.Load() != 1 {
+		t.Errorf("calls dead=%d healthy=%d, want 1/1", dead.calls.Load(), healthy.calls.Load())
+	}
+	if h.Hedges() != 1 {
+		t.Errorf("hedges = %d, want 1 (the delay-triggered hedge only)", h.Hedges())
+	}
+	if h.FailoverAttempts() == 0 {
+		t.Error("failover continuation never ran")
+	}
+}
+
+// TestRaceFailoverPrimaryErrorMidRace covers the sibling ordering: the
+// primary's error arrives while the hedge is still racing, the hedge
+// then fails too, and the walk must still reach the remaining replica.
+func TestRaceFailoverPrimaryErrorMidRace(t *testing.T) {
+	primary := &fakeCaller{tag: 1, delay: 5 * time.Millisecond, err: errors.New("primary down")}
+	dead := &fakeCaller{tag: 2, delay: 30 * time.Millisecond, err: errors.New("replica down")}
+	healthy := &fakeCaller{tag: 3}
+	h := hedged(t, 2*time.Millisecond, primary, dead, healthy)
+	h.next.Store(0) // hedge lands on the dead replica
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if err != nil || resp.Body[0] != 3 {
+		t.Fatalf("resp = %+v, %v; want the healthy replica's answer", resp, err)
+	}
+}
+
+// TestRaceFailoverAllFailSurfacesPrimary: the race-path continuation
+// keeps the primary-error-wins contract when every replica fails.
+func TestRaceFailoverAllFailSurfacesPrimary(t *testing.T) {
+	primErr := errors.New("primary down")
+	primary := &fakeCaller{tag: 1, delay: 8 * time.Millisecond, err: primErr}
+	h := hedged(t, time.Millisecond, primary,
+		&fakeCaller{tag: 2, err: errors.New("r down")},
+		&fakeCaller{tag: 3, err: errors.New("r down")})
+	if _, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7}); !errors.Is(err, primErr) {
+		t.Fatalf("err = %v, want primary's", err)
+	}
+}
+
+// TestHealthEjectsFailingPrimary: with a tracker attached, a primary
+// that fails FailThreshold calls in a row leaves the rotation — later
+// calls go straight to the healthy replica instead of re-trying the
+// dead one every time.
+func TestHealthEjectsFailingPrimary(t *testing.T) {
+	primary := &fakeCaller{tag: 1, err: errors.New("shard down")}
+	replica := &fakeCaller{tag: 2}
+	h := hedged(t, time.Hour, primary, replica)
+	h.Health = NewHealthTracker(2, HealthConfig{FailThreshold: 2, ProbeEvery: time.Hour})
+	for i := 0; i < 10; i++ {
+		resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: uint64(i + 1)})
+		if err != nil || resp.Body[0] != 2 {
+			t.Fatalf("call %d: resp = %+v, %v", i, resp, err)
+		}
+	}
+	if got := primary.calls.Load(); got != 2 {
+		t.Errorf("dead primary called %d times, want 2 (then ejected)", got)
+	}
+	snap := h.HealthSnapshot()
+	if snap.Ejected != 1 || snap.Replicas[0].State != ReplicaEjected {
+		t.Errorf("snapshot = %+v, want primary ejected", snap)
+	}
+	if snap.Replicas[1].State != ReplicaHealthy {
+		t.Errorf("replica 1 state = %s", snap.Replicas[1].State)
+	}
+}
+
+// TestHealthSlowStrikeEjectsHungPrimary: a hung (unresponsive, not
+// erroring) primary is ejected via hedge-win strikes, and once ejected
+// the calls stop paying the hedge delay.
+func TestHealthSlowStrikeEjectsHungPrimary(t *testing.T) {
+	replica := &fakeCaller{tag: 2}
+	h := hedged(t, 4*time.Millisecond, Unresponsive(), replica)
+	h.Health = NewHealthTracker(2, HealthConfig{FailThreshold: 2, ProbeEvery: time.Hour})
+	for i := 0; i < 2; i++ { // strike calls: each pays the hedge delay
+		start := time.Now()
+		resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: uint64(i + 1)})
+		if err != nil || resp.Body[0] != 2 {
+			t.Fatalf("strike call %d: resp = %+v, %v", i, resp, err)
+		}
+		if time.Since(start) < 4*time.Millisecond {
+			t.Fatalf("strike call %d returned before the hedge delay", i)
+		}
+	}
+	if snap := h.HealthSnapshot(); snap.Ejected != 1 {
+		t.Fatalf("hung primary not ejected after %d strikes: %+v", 2, snap)
+	}
+	start := time.Now()
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 99})
+	if err != nil || resp.Body[0] != 2 {
+		t.Fatalf("post-ejection resp = %+v, %v", resp, err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Millisecond {
+		t.Errorf("post-ejection call took %v; ejection should skip the dead primary", elapsed)
+	}
+}
+
+// TestHealthProbeRecovery: an ejected replica whose server comes back
+// (the Slot swaps in a live caller) is re-admitted by a probation probe
+// after the probe interval.
+func TestHealthProbeRecovery(t *testing.T) {
+	slot := NewSlot(Unresponsive())
+	replica := &fakeCaller{tag: 2}
+	h := hedged(t, 3*time.Millisecond, slot, replica)
+	h.Health = NewHealthTracker(2, HealthConfig{FailThreshold: 1, ProbeEvery: 20 * time.Millisecond})
+	if _, err := h.CallSync(&rpc.Request{Method: "m", CallID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := h.HealthSnapshot(); snap.Ejected != 1 {
+		t.Fatalf("primary not ejected: %+v", snap)
+	}
+
+	// Server comes back; the next probe should discover it.
+	old := slot.Swap(&fakeCaller{tag: 1})
+	old.Close()
+	time.Sleep(25 * time.Millisecond)
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 2})
+	if err != nil || resp.Body[0] != 1 {
+		t.Fatalf("probe call resp = %+v, %v; want the recovered primary", resp, err)
+	}
+	snap := h.HealthSnapshot()
+	if snap.Ejected != 0 || snap.Replicas[0].Recoveries != 1 || snap.Replicas[0].Probes == 0 {
+		t.Errorf("post-recovery snapshot = %+v", snap)
+	}
+}
+
+// TestHealthFailedProbeReArms: a probe against a still-dead replica
+// keeps it ejected and re-arms the probe timer — at most one probe per
+// interval pays the discovery cost.
+func TestHealthFailedProbeReArms(t *testing.T) {
+	tr := NewHealthTracker(1, HealthConfig{FailThreshold: 1, ProbeEvery: 15 * time.Millisecond})
+	tr.ReportFailure(0)
+	if tr.Healthy(0) || tr.Allow(0) {
+		t.Fatal("replica must be ejected with no probe due")
+	}
+	time.Sleep(18 * time.Millisecond)
+	if !tr.Allow(0) {
+		t.Fatal("probe due, Allow must grant it")
+	}
+	if tr.Allow(0) {
+		t.Fatal("second caller must not get a probe while one is in flight")
+	}
+	tr.ReportFailure(0) // probe failed
+	if tr.Allow(0) {
+		t.Fatal("failed probe must re-arm the interval, not re-probe immediately")
+	}
+	time.Sleep(18 * time.Millisecond)
+	if !tr.Allow(0) {
+		t.Fatal("next interval's probe must be granted")
+	}
+	tr.ReportSuccess(0)
+	if !tr.Healthy(0) {
+		t.Fatal("successful probe must close the breaker")
+	}
+}
+
+// BenchmarkHealthTracker measures the healthy-path overhead Hedged adds
+// per call when a tracker is attached (one Allow + one ReportSuccess).
+func BenchmarkHealthTracker(b *testing.B) {
+	tr := NewHealthTracker(3, HealthConfig{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !tr.Allow(i % 3) {
+			b.Fatal("healthy replica disallowed")
+		}
+		tr.ReportSuccess(i % 3)
 	}
 }

@@ -22,9 +22,15 @@ type SLA struct {
 
 // Report evaluates a replay result against an SLA.
 type Report struct {
-	SLA        SLA
-	Total      int
+	SLA   SLA
+	Total int
+	// Violations counts every request that fell short of the agreement:
+	// served late, shed to the fallback, or hard-failed.
 	Violations int
+	// Late is the subset of Violations that were served, just over
+	// budget. Lateness is judged by AchievedQuantileLatency, never by the
+	// shed allowance — a late request did not receive the fallback.
+	Late int
 	// Dropped is the subset of Violations the serving side shed
 	// deliberately (admission control / overload), each answered with the
 	// degraded fallback instead of a late result.
@@ -33,27 +39,34 @@ type Report struct {
 	// among requests that were actually served.
 	AchievedQuantileLatency time.Duration
 	// Met reports whether the target quantile landed within budget, no
-	// request hard-failed, and the shed fraction stayed inside the
+	// request hard-failed, and the fallback fraction stayed inside the
 	// quantile's allowance.
 	Met bool
-	// FallbackRate is the fraction of user requests that would have
-	// received the degraded fallback recommendation.
+	// FallbackRate is the fraction of user requests that actually
+	// received the degraded fallback recommendation: deliberate sheds
+	// plus hard failures. Late-but-served requests are booked under
+	// LateRate instead.
 	FallbackRate float64
+	// LateRate is the fraction of user requests served over budget.
+	LateRate float64
 }
 
 // Evaluate scores client-observed latencies against the SLA. Failed and
-// deliberately shed requests both count as violations — either way the
-// user got the fallback — but only hard failures disqualify the SLA
-// outright; sheds are tolerated up to the target quantile's allowance
-// (a P99 SLA affords 1% fallbacks).
+// deliberately shed requests both count as fallbacks — either way the
+// user got the degraded result — but only hard failures disqualify the
+// SLA outright; sheds are tolerated up to the target quantile's
+// allowance (a P99 SLA affords 1% fallbacks). Late-but-served requests
+// are judged once, through the achieved quantile: counting them against
+// the shed allowance too would double-penalize lateness.
 func (s SLA) Evaluate(res *Result) Report {
 	rep := Report{SLA: s, Total: res.Sent, Dropped: res.Fallbacks}
 	for _, d := range res.ClientE2E {
 		if d > s.Budget {
-			rep.Violations++
+			rep.Late++
 		}
 	}
-	rep.Violations += res.Failed() + res.Fallbacks
+	fallbacks := res.Failed() + res.Fallbacks
+	rep.Violations = rep.Late + fallbacks
 	sample := stats.NewDurationSample(res.ClientE2E)
 	q := s.TargetQuantile
 	if q <= 0 || q > 1 {
@@ -61,11 +74,15 @@ func (s SLA) Evaluate(res *Result) Report {
 	}
 	rep.AchievedQuantileLatency = time.Duration(sample.Quantile(q) * float64(time.Second))
 	if res.Sent > 0 {
-		rep.FallbackRate = float64(rep.Violations) / float64(res.Sent)
+		rep.FallbackRate = float64(fallbacks) / float64(res.Sent)
+		rep.LateRate = float64(rep.Late) / float64(res.Sent)
 	}
+	// The epsilon keeps the documented boundary inclusive: a P90 SLA
+	// affords exactly 10% fallbacks, but 1-0.9 rounds just below 0.1 in
+	// float64.
 	rep.Met = rep.AchievedQuantileLatency <= s.Budget &&
 		res.Failed() == 0 &&
-		rep.FallbackRate <= 1-q
+		rep.FallbackRate <= (1-q)+1e-9
 	return rep
 }
 
@@ -75,7 +92,8 @@ func (r Report) String() string {
 	if !r.Met {
 		status = "VIOLATED"
 	}
-	return fmt.Sprintf("SLA %v @ p%.0f: %s (achieved %v, %d/%d fallbacks (%d shed), %.1f%% fallback rate)",
+	return fmt.Sprintf("SLA %v @ p%.0f: %s (achieved %v, %d/%d violations (%d shed, %d late), %.1f%% fallback rate, %.1f%% late)",
 		r.SLA.Budget, r.SLA.TargetQuantile*100, status,
-		r.AchievedQuantileLatency.Round(time.Microsecond), r.Violations, r.Total, r.Dropped, 100*r.FallbackRate)
+		r.AchievedQuantileLatency.Round(time.Microsecond), r.Violations, r.Total, r.Dropped, r.Late,
+		100*r.FallbackRate, 100*r.LateRate)
 }

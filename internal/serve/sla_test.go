@@ -26,11 +26,12 @@ func TestSLAEvaluateViolations(t *testing.T) {
 		1*time.Millisecond, 2*time.Millisecond, 9*time.Millisecond, 12*time.Millisecond,
 	)
 	rep := SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.5}.Evaluate(res)
-	if rep.Violations != 2 {
-		t.Errorf("violations = %d, want 2", rep.Violations)
+	if rep.Violations != 2 || rep.Late != 2 {
+		t.Errorf("violations = %d late = %d, want 2/2", rep.Violations, rep.Late)
 	}
-	if rep.FallbackRate != 0.5 {
-		t.Errorf("fallback rate = %v", rep.FallbackRate)
+	// Late-but-served requests never got the fallback.
+	if rep.LateRate != 0.5 || rep.FallbackRate != 0 {
+		t.Errorf("late rate = %v fallback rate = %v, want 0.5/0", rep.LateRate, rep.FallbackRate)
 	}
 	// P50 of {1,2,9,12} ≈ 5.5ms > 5ms budget → not met.
 	if rep.Met {
@@ -127,5 +128,55 @@ func TestSLAFallbacksWithinAllowance(t *testing.T) {
 	res = &Result{Sent: 10, ClientE2E: fast, Errors: []error{errors.New("x")}}
 	if rep := (SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.5}).Evaluate(res); rep.Met {
 		t.Errorf("hard failures must always violate: %+v", rep)
+	}
+}
+
+// TestSLALateOnlyTrafficIsNotFallback is the fallback-accounting
+// regression: FallbackRate is documented as the fraction of requests
+// that received the degraded fallback, so late-but-served traffic must
+// book under LateRate, not FallbackRate (the pre-fix code computed
+// FallbackRate from Violations, which mixes the two).
+func TestSLALateOnlyTrafficIsNotFallback(t *testing.T) {
+	ds := make([]time.Duration, 10)
+	for i := range ds {
+		ds[i] = time.Millisecond
+	}
+	ds[9] = 10 * time.Millisecond // one late, nothing shed, nothing failed
+	rep := SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.5}.Evaluate(resultWithLatencies(ds...))
+	if rep.FallbackRate != 0 {
+		t.Errorf("fallback rate = %v on late-served-only traffic, want 0", rep.FallbackRate)
+	}
+	if rep.LateRate != 0.1 || rep.Late != 1 || rep.Dropped != 0 {
+		t.Errorf("late = %d (rate %v), dropped = %d; want 1 (0.1), 0", rep.Late, rep.LateRate, rep.Dropped)
+	}
+	if !rep.Met {
+		t.Errorf("P50 well under budget with no fallbacks must be met: %+v", rep)
+	}
+}
+
+// TestSLALatenessNotDoubleCounted pins the Met flip: one in-allowance
+// shed plus one late-but-served request. Lateness is judged by the
+// achieved quantile (which passes); only the real shed counts against
+// the allowance — the pre-fix code charged the late request against the
+// shed allowance too and wrongly violated the SLA.
+func TestSLALatenessNotDoubleCounted(t *testing.T) {
+	served := make([]time.Duration, 9)
+	for i := range served {
+		served[i] = time.Millisecond
+	}
+	served[8] = 6 * time.Millisecond // late, but P90 of served ≈ 2ms
+	res := &Result{Sent: 10, ClientE2E: served, Fallbacks: 1}
+	rep := SLA{Budget: 5 * time.Millisecond, TargetQuantile: 0.9}.Evaluate(res)
+	if rep.AchievedQuantileLatency > 5*time.Millisecond {
+		t.Fatalf("achieved P90 = %v, test premise broken", rep.AchievedQuantileLatency)
+	}
+	if rep.FallbackRate != 0.1 || rep.LateRate != 0.1 {
+		t.Errorf("fallback rate = %v late rate = %v, want 0.1/0.1", rep.FallbackRate, rep.LateRate)
+	}
+	if rep.Violations != 2 {
+		t.Errorf("violations = %d, want 2 (1 shed + 1 late)", rep.Violations)
+	}
+	if !rep.Met {
+		t.Errorf("shed within allowance and quantile within budget must meet the SLA: %+v", rep)
 	}
 }
