@@ -20,6 +20,7 @@ import (
 	"os"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -27,6 +28,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/frontend"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/trace"
 )
@@ -293,6 +295,47 @@ func BenchmarkFrontendAdmission(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkObsOverhead prices the telemetry tentpole: the serving
+// frontend's hot path (queue, admission, gather, demux over a no-op
+// executor, so instrumentation is the signal rather than engine time)
+// with the discarding registry — every handle nil, the uninstrumented
+// baseline — against a live registry plus 1-in-16 sampled tracing. The
+// benchcheck gate holds both arms to the recorded baseline, so an
+// obs-path regression (or an accidentally hot discard path) fails CI.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, tc := range []struct {
+		name   string
+		reg    *obs.Registry
+		sample int
+	}{
+		{"discard", obs.Discard(), 0},
+		{"live", obs.NewRegistry(), 16},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cfg := frontend.Config{
+				MaxQueue: 4096, MaxBatchRequests: 64, Budget: time.Second,
+				Obs: tc.reg,
+			}
+			if tc.sample > 0 {
+				cfg.Tracer = obs.NewTracer(tc.reg, obs.TracerConfig{SampleEvery: tc.sample})
+			}
+			f := frontend.New(nopExec{}, cfg)
+			defer f.Close()
+			req := &core.RankingRequest{ID: 1, Items: 8}
+			var id atomic.Uint64
+			b.ReportAllocs()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if _, err := f.Submit(trace.Context{TraceID: id.Add(1)}, req); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
 }
 
 // TestExperimentRegistryComplete pins the experiment inventory to the

@@ -27,6 +27,7 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/model"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/replication"
 	"repro/internal/rpc"
@@ -81,6 +82,13 @@ func main() {
 		// identical at every setting.
 		densePar  = flag.Int("dense-par", 0, "dense GEMM workers per multiply: 0 = GOMAXPROCS, 1 = serial")
 		gemmBlock = flag.Int("gemm-block", 0, "dense GEMM row-tile height per worker claim (0 = default)")
+
+		// Live telemetry: the obs registry aggregates per-stage counters
+		// and latency histograms; sampled request tracing adds end-to-end
+		// stage breakdowns for one of every -trace-sample requests.
+		metricsAddr = flag.String("metrics-addr", "", "serve live metrics over HTTP: /metrics (text), /metrics.json, /traces, /debug/pprof/ (empty disables)")
+		traceSample = flag.Int("trace-sample", 0, "main role: live-sample one of every N requests into a stage-breakdown trace (0 disables; deadline misses always sampled)")
+		metricsLog  = flag.Duration("metrics-log", 0, "log a metrics snapshot diff to stderr at this interval (0 disables)")
 	)
 	flag.Parse()
 	tensor.SetParallelism(*densePar)
@@ -119,15 +127,27 @@ func main() {
 		fatal(err)
 	}
 
+	// The registry only pays for itself when something reads it; with no
+	// exporter and no tracing it discards, and every instrumented path in
+	// the process degrades to a nil-handle branch.
+	reg := obs.Discard()
+	if *metricsAddr != "" || *metricsLog > 0 || *traceSample > 0 {
+		reg = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *traceSample > 0 {
+		tracer = obs.NewTracer(reg, obs.TracerConfig{SampleEvery: *traceSample, OnDeadlineMiss: true})
+	}
+
 	var srv *rpc.Server
 	shutdown := func() {}
 	switch *role {
 	case "sparse":
 		if *shardFile != "" {
-			srv, err = serveSparseFromFile(*shardFile, *listen, *netDelay, tier)
+			srv, err = serveSparseFromFile(*shardFile, *listen, *netDelay, tier, reg)
 			break
 		}
-		srv, err = serveSparse(m, plan, *shardNum, *listen, *netDelay, tier)
+		srv, err = serveSparse(m, plan, *shardNum, *listen, *netDelay, tier, reg)
 	case "main":
 		opts := mainOptions{
 			batchWait:      *batchWait,
@@ -140,6 +160,8 @@ func main() {
 			healthProbe:    *healthProbe,
 			rebalanceEvery: *rebalEvery,
 			moveBudget:     *moveBudget,
+			obs:            reg,
+			tracer:         tracer,
 		}
 		srv, shutdown, err = serveMain(m, plan, *listen, *peers, *netDelay, opts)
 	default:
@@ -147,6 +169,22 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *metricsAddr != "" {
+		bound, stopHTTP, merr := obs.Serve(*metricsAddr, reg, tracer)
+		if merr != nil {
+			srv.Close()
+			shutdown()
+			fatal(merr)
+		}
+		fmt.Printf("drmserve: metrics on http://%s/metrics (/metrics.json, /traces, /debug/pprof/)\n", bound)
+		prev := shutdown
+		shutdown = func() { stopHTTP(); prev() }
+	}
+	if *metricsLog > 0 {
+		stopLog := obs.StartLogger(reg, os.Stderr, *metricsLog)
+		prev := shutdown
+		shutdown = func() { stopLog(); prev() }
 	}
 	if *shardFile != "" {
 		fmt.Printf("drmserve: sparse shard (from %s) on %s\n", *shardFile, srv.Addr())
@@ -182,7 +220,7 @@ func buildTier(cfg *model.Config, cacheMB float64, coldPrec string, errBudget fl
 
 // serveSparseFromFile boots a sparse shard straight from a shard file —
 // the shard never materializes the rest of the model.
-func serveSparseFromFile(path, listen string, sim bool, tier *core.TierConfig) (*rpc.Server, error) {
+func serveSparseFromFile(path, listen string, sim bool, tier *core.TierConfig, reg *obs.Registry) (*rpc.Server, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -196,6 +234,7 @@ func serveSparseFromFile(path, listen string, sim bool, tier *core.TierConfig) (
 	if tier != nil {
 		sh.SetTier(tier)
 	}
+	sh.SetObs(reg)
 	cfg := rpc.ServerConfig{Recorder: rec, BoilerplateCost: platform.BaseBoilerplate}
 	if sim {
 		cfg.ResponseLink = platform.SCLarge().Network(int64(shard)).Response
@@ -205,7 +244,7 @@ func serveSparseFromFile(path, listen string, sim bool, tier *core.TierConfig) (
 	return rpc.NewServer(listen, sh, cfg)
 }
 
-func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, sim bool, tier *core.TierConfig) (*rpc.Server, error) {
+func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, sim bool, tier *core.TierConfig, reg *obs.Registry) (*rpc.Server, error) {
 	if !plan.IsDistributed() {
 		return nil, fmt.Errorf("singular plans have no sparse shards")
 	}
@@ -221,6 +260,7 @@ func serveSparse(m *model.Model, plan *sharding.Plan, shard int, listen string, 
 		return nil, err
 	}
 	sh := all[shard-1]
+	sh.SetObs(reg)
 	cfg := rpc.ServerConfig{Recorder: recs[shard-1], BoilerplateCost: platform.BaseBoilerplate}
 	if sim {
 		cfg.ResponseLink = platform.SCLarge().Network(int64(shard)).Response
@@ -246,6 +286,8 @@ type mainOptions struct {
 	healthProbe    time.Duration
 	rebalanceEvery time.Duration
 	moveBudget     int
+	obs            *obs.Registry
+	tracer         *obs.Tracer
 }
 
 // frontendEnabled reports whether any SLA-frontend flag was set.
@@ -272,9 +314,13 @@ func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bo
 		return nil, nil, fmt.Errorf("-health-fails requires -hedge > 0")
 	}
 	rec := trace.NewRecorder("main", 1<<18)
+	if opts.tracer != nil {
+		rec.SetSink(opts.tracer)
+	}
 	clients := make(map[string]rpc.Caller)
 	eng, err := core.NewEngine(m, plan, core.EngineConfig{
 		Recorder: rec,
+		Obs:      opts.obs,
 		ClientFor: func(service string) (rpc.Caller, error) {
 			if c, ok := clients[service]; ok {
 				return c, nil
@@ -309,6 +355,7 @@ func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bo
 						ProbeEvery:    opts.healthProbe,
 					})
 				}
+				h.RegisterMetrics(opts.obs, "replication."+service+".")
 				caller = h
 			}
 			clients[service] = caller
@@ -319,7 +366,7 @@ func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bo
 		return nil, nil, err
 	}
 
-	var handler rpc.Handler = &core.MainService{Engine: eng, Rec: rec}
+	var handler rpc.Handler = &core.MainService{Engine: eng, Rec: rec, Tracer: opts.tracer}
 	shutdown := func() {}
 	if opts.frontendEnabled() {
 		fe := frontend.New(eng, frontend.Config{
@@ -327,6 +374,8 @@ func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bo
 			MaxBatchRequests: opts.batchReqs,
 			MaxQueue:         opts.maxQueue,
 			Budget:           opts.sla,
+			Obs:              opts.obs,
+			Tracer:           opts.tracer,
 		})
 		handler = &frontend.Service{F: fe, Rec: rec}
 		shutdown = fe.Close
@@ -341,6 +390,12 @@ func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bo
 		shutdown()
 		return nil, nil, err
 	}
+	opts.obs.RegisterProbeGroup(func(emit func(string, int64)) {
+		s := srv.Stats()
+		emit("rpc.main.inflight", s.InFlight)
+		emit("rpc.main.peak_inflight", s.PeakInFlight)
+		emit("rpc.main.overloads", s.Overloads)
+	})
 
 	if opts.rebalanceEvery > 0 && plan.IsDistributed() {
 		mg := &core.Migrator{Engine: eng, Rec: rec, Shards: make(map[int]core.ShardEndpoint)}

@@ -1,0 +1,139 @@
+// Command metricscheck validates a live drmserve metrics endpoint: it
+// fetches /metrics.json from the given base URL and checks the document
+// against the export schema — a parseable RFC3339Nano timestamp, integer
+// counters and gauges, and histogram summaries whose quantiles are
+// ordered (p50 <= p95 <= p99 <= max). CI boots a deployment with
+// -metrics-addr and runs this against it, so a schema drift in the obs
+// exporter fails the build rather than a downstream dashboard.
+//
+//	metricscheck http://127.0.0.1:9100
+//	metricscheck -require engine.requests http://127.0.0.1:9100
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+// histDoc mirrors the obs exporter's per-histogram summary.
+type histDoc struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// doc mirrors the top-level /metrics.json document.
+type doc struct {
+	At         string             `json:"at"`
+	Counters   map[string]int64   `json:"counters"`
+	Gauges     map[string]int64   `json:"gauges"`
+	Histograms map[string]histDoc `json:"histograms"`
+}
+
+func main() {
+	var (
+		require = flag.String("require", "", "comma-separated metric names that must be present (counter, gauge, or histogram)")
+		timeout = flag.Duration("timeout", 10*time.Second, "fetch timeout")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: metricscheck [-require names] <base-url>")
+		os.Exit(2)
+	}
+	url := strings.TrimSuffix(flag.Arg(0), "/") + "/metrics.json"
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatal(fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(string(body))))
+	}
+
+	var d doc
+	dec := json.NewDecoder(strings.NewReader(string(body)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		fatal(fmt.Errorf("decoding %s: %w", url, err))
+	}
+	if err := validate(d); err != nil {
+		fatal(err)
+	}
+	for _, name := range splitNonEmpty(*require) {
+		if !present(d, name) {
+			fatal(fmt.Errorf("required metric %q absent from %s", name, url))
+		}
+	}
+	fmt.Printf("metricscheck: ok: %d counters, %d gauges, %d histograms at %s\n",
+		len(d.Counters), len(d.Gauges), len(d.Histograms), d.At)
+}
+
+// validate checks the document's internal invariants.
+func validate(d doc) error {
+	if _, err := time.Parse(time.RFC3339Nano, d.At); err != nil {
+		return fmt.Errorf("at %q is not RFC3339Nano: %w", d.At, err)
+	}
+	for name, c := range d.Counters {
+		if c < 0 {
+			return fmt.Errorf("counter %s = %d is negative", name, c)
+		}
+	}
+	for name, h := range d.Histograms {
+		if h.Count < 0 {
+			return fmt.Errorf("histogram %s count = %d is negative", name, h.Count)
+		}
+		if h.Count == 0 {
+			continue
+		}
+		if h.P50 > h.P95 || h.P95 > h.P99 || h.P99 > h.Max {
+			return fmt.Errorf("histogram %s quantiles unordered: p50=%g p95=%g p99=%g max=%g",
+				name, h.P50, h.P95, h.P99, h.Max)
+		}
+		if h.Mean < 0 || h.Max < 0 {
+			return fmt.Errorf("histogram %s has negative summary: mean=%g max=%g", name, h.Mean, h.Max)
+		}
+	}
+	return nil
+}
+
+func present(d doc, name string) bool {
+	if _, ok := d.Counters[name]; ok {
+		return true
+	}
+	if _, ok := d.Gauges[name]; ok {
+		return true
+	}
+	_, ok := d.Histograms[name]
+	return ok
+}
+
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "metricscheck:", err)
+	os.Exit(1)
+}

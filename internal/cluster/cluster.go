@@ -17,6 +17,7 @@ import (
 	"repro/internal/frontend"
 	"repro/internal/model"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/platform"
 	"repro/internal/replication"
 	"repro/internal/rpc"
@@ -64,6 +65,17 @@ type Options struct {
 	// sparse shard: a hot-row cache byte budget in front of cold-tier
 	// storage encoded per the config's tier plan.
 	Tier *core.TierConfig
+	// Obs receives the deployment's live metrics: every serving stage
+	// registers counters, gauges, and latency histograms against it under
+	// a stable namespace (engine.*, frontend.*, replication.*, sparseN.*,
+	// rpc.main.*). Nil boots with obs.Discard(): every handle is nil and
+	// the instrumented paths cost one predictable-nil branch.
+	Obs *obs.Registry
+	// TraceSample, when > 0, live-samples one of every TraceSample
+	// requests end to end: the sampled trace's spans are teed from every
+	// shard's recorder into an obs.Tracer that emits a per-request stage
+	// breakdown (deadline misses are always sampled). 0 disables tracing.
+	TraceSample int
 }
 
 // sparseReplica is one serving replica of a sparse shard: a server, the
@@ -88,6 +100,13 @@ type Cluster struct {
 	Registry  *rpc.Registry
 	Collector *trace.Collector
 	MainRec   *trace.Recorder
+
+	// Obs is the deployment's metrics registry (obs.Discard() when
+	// Options.Obs was nil, so reads are always safe).
+	Obs *obs.Registry
+	// Tracer holds sampled live request traces when Options.TraceSample
+	// was > 0 (nil otherwise).
+	Tracer *obs.Tracer
 
 	Engine *core.Engine
 	// Frontend is non-nil when Options.Frontend fronted the main shard.
@@ -162,8 +181,21 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 		plat:        plat,
 		opts:        opts,
 	}
+	c.Obs = opts.Obs
+	if c.Obs == nil {
+		c.Obs = obs.Discard()
+	}
+	if opts.TraceSample > 0 {
+		c.Tracer = obs.NewTracer(c.Obs, obs.TracerConfig{
+			SampleEvery:    opts.TraceSample,
+			OnDeadlineMiss: true,
+		})
+	}
 	c.MainRec = trace.NewRecorder("main", opts.SpanCapacity)
 	c.Collector.Attach(c.MainRec)
+	if c.Tracer != nil {
+		c.MainRec.SetSink(c.Tracer)
+	}
 	skew := skewFor(opts, 0)
 	c.MainRec.SetClockSkew(skew)
 
@@ -180,6 +212,9 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 			recs[i] = trace.NewRecorder(core.ServiceName(i+1), opts.SpanCapacity)
 			recs[i].SetClockSkew(skewFor(opts, i+1))
 			c.Collector.Attach(recs[i])
+			if c.Tracer != nil {
+				recs[i].SetSink(c.Tracer)
+			}
 		}
 		shards, err := core.MaterializeShardsTiered(m, plan, recs, opts.Tier)
 		if err != nil {
@@ -187,8 +222,17 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 		}
 		c.shards = shards
 		c.replicas = make([][]*sparseReplica, len(shards))
+		// A replica's measured call latency includes the hedge bound's
+		// worth of patience: an observer still waiting past this gives up
+		// and books the call as lost (replicas swapped for Unresponsive()
+		// by failure injection would otherwise pin observer goroutines).
+		callBound := 8 * opts.HedgeDelay
+		if callBound < 250*time.Millisecond {
+			callBound = 250 * time.Millisecond
+		}
 		for i, sh := range shards {
 			sh.OpComputeScale = plat.OpComputeScale
+			sh.SetObs(c.Obs)
 			// Replica servers share the shard's table store and recorder:
 			// sparse shards are stateless, so a replica is just another
 			// front door to identical data. Each sits behind a swappable
@@ -209,7 +253,17 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 				if r == 0 {
 					c.Registry.Register(sh.ShardName, rep.srv.Addr())
 				}
-				callers = append(callers, rep.slot)
+				caller := rpc.Caller(rep.slot)
+				if replicas > 1 {
+					// Wrap the slot, not the dialed client, so latency
+					// accounting follows the replica identity across
+					// ReplaceReplica swaps.
+					svcPrefix := fmt.Sprintf("replication.%s.replica%d.", sh.ShardName, r)
+					caller = replication.ObserveCaller(caller,
+						c.Obs.Histogram(svcPrefix+"call_ns"),
+						c.Obs.Counter(svcPrefix+"lost"), callBound)
+				}
+				callers = append(callers, caller)
 			}
 			if replicas == 1 {
 				c.clients[sh.ShardName] = callers[0]
@@ -225,6 +279,7 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 					ProbeEvery:    opts.HealthProbe,
 				})
 			}
+			h.RegisterMetrics(c.Obs, "replication."+sh.ShardName+".")
 			c.Hedged[sh.ShardName] = h
 			c.clients[sh.ShardName] = h
 		}
@@ -241,6 +296,7 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	eng, err := core.NewEngine(m, plan, core.EngineConfig{
 		BatchSize: opts.BatchSize,
 		Recorder:  c.MainRec,
+		Obs:       c.Obs,
 		ClientFor: func(service string) (rpc.Caller, error) {
 			cl, ok := c.clients[service]
 			if !ok {
@@ -254,9 +310,12 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	}
 	c.Engine = eng
 
-	var mainHandler rpc.Handler = &core.MainService{Engine: eng, Rec: c.MainRec}
+	var mainHandler rpc.Handler = &core.MainService{Engine: eng, Rec: c.MainRec, Tracer: c.Tracer}
 	if opts.Frontend != nil {
-		c.Frontend = frontend.New(eng, *opts.Frontend)
+		fcfg := *opts.Frontend
+		fcfg.Obs = c.Obs
+		fcfg.Tracer = c.Tracer
+		c.Frontend = frontend.New(eng, fcfg)
 		mainHandler = &frontend.Service{F: c.Frontend, Rec: c.MainRec}
 	}
 	mainSrv, err := rpc.NewServer("127.0.0.1:0", mainHandler, rpc.ServerConfig{
@@ -269,6 +328,12 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	}
 	c.mainServer = mainSrv
 	c.Registry.Register("main", mainSrv.Addr())
+	c.Obs.RegisterProbeGroup(func(emit func(string, int64)) {
+		s := mainSrv.Stats()
+		emit("rpc.main.inflight", s.InFlight)
+		emit("rpc.main.peak_inflight", s.PeakInFlight)
+		emit("rpc.main.overloads", s.Overloads)
+	})
 	ok = true
 	return c, nil
 }

@@ -47,11 +47,16 @@ func (e *Engine) ExecuteBatch(items []BatchItem) ([][]float32, error) {
 		}
 		total += int(it.Req.Items)
 	}
+	e.met.batchRequests.Observe(int64(len(items)))
+	e.met.batchItems.Observe(int64(total))
 
+	coalesceStart := e.cfg.Recorder.Now()
 	combined, bufs := e.coalesce(items, total)
 	start := e.cfg.Recorder.Now()
+	e.met.coalesceNs.Observe(int64(start.Sub(coalesceStart)))
 	scores, err := e.executeValidated(items[0].Ctx, combined)
 	dur := e.cfg.Recorder.Now().Sub(start)
+	e.met.executeNs.Observe(int64(dur))
 	// The execution is over and nothing below retains the combined
 	// request's tensors or bag slices, so its buffers can back the next
 	// coalesced batch.
@@ -70,6 +75,7 @@ func (e *Engine) ExecuteBatch(items []BatchItem) ([][]float32, error) {
 		return nil, fmt.Errorf("core: coalesced batch of %d: %w", len(items), err)
 	}
 
+	demuxStart := e.cfg.Recorder.Now()
 	out := make([][]float32, len(items))
 	off := 0
 	for i, it := range items {
@@ -81,6 +87,7 @@ func (e *Engine) ExecuteBatch(items []BatchItem) ([][]float32, error) {
 		out[i] = append(make([]float32, 0, n), scores[off:off+n]...)
 		off += n
 	}
+	e.met.demuxNs.Observe(int64(e.cfg.Recorder.Now().Sub(demuxStart)))
 	return out, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/sharding"
 	"repro/internal/trace"
@@ -29,6 +30,39 @@ type EngineConfig struct {
 	// caller (a plain client, or a hedged replica set). Required for
 	// distributed plans.
 	ClientFor func(service string) (rpc.Caller, error)
+	// Obs receives the engine's live metrics (engine.* namespace). Nil or
+	// obs.Discard() turns instrumentation into no-op nil handles.
+	Obs *obs.Registry
+}
+
+// engineMetrics is the engine's live-telemetry handle set. All handles
+// are nil (free no-ops) when the engine runs without a registry.
+type engineMetrics struct {
+	requests *obs.Counter // engine executions (a coalesced batch counts once)
+	batches  *obs.Counter // sub-batch executions (runBatch calls)
+
+	coalesceNs    *obs.Histogram // assembling the combined request
+	executeNs     *obs.Histogram // coalesced engine execution
+	demuxNs       *obs.Histogram // splitting scores back per request
+	batchRequests *obs.Histogram // requests per coalesced execution
+	batchItems    *obs.Histogram // items per coalesced execution
+
+	rpcCalls         *obs.Counter   // sparse RPC calls issued
+	rpcOutstandingNs *obs.Histogram // per-call outstanding time at the main shard
+}
+
+func newEngineMetrics(r *obs.Registry) engineMetrics {
+	return engineMetrics{
+		requests:         r.Counter("engine.requests"),
+		batches:          r.Counter("engine.batches"),
+		coalesceNs:       r.Histogram("engine.coalesce_ns"),
+		executeNs:        r.Histogram("engine.execute_ns"),
+		demuxNs:          r.Histogram("engine.demux_ns"),
+		batchRequests:    r.Histogram("engine.batch_requests"),
+		batchItems:       r.Histogram("engine.batch_items"),
+		rpcCalls:         r.Counter("engine.rpc.calls"),
+		rpcOutstandingNs: r.Histogram("engine.rpc.outstanding_ns"),
+	}
 }
 
 // Engine executes ranking requests for one model under one sharding plan.
@@ -53,6 +87,9 @@ type Engine struct {
 	// assembles (batch.go); shapes depend only on the model, so the pool
 	// survives reroutes.
 	combined sync.Pool
+	// met holds the engine's metric handles (nil no-ops without a
+	// registry).
+	met engineMetrics
 }
 
 // engineProgram is one compiled routing generation: the plan and its
@@ -112,7 +149,7 @@ func NewEngine(m *model.Model, plan *sharding.Plan, cfg EngineConfig) (*Engine, 
 	if cfg.Recorder == nil {
 		return nil, fmt.Errorf("core: engine requires a recorder")
 	}
-	e := &Engine{model: m, cfg: cfg}
+	e := &Engine{model: m, cfg: cfg, met: newEngineMetrics(cfg.Obs)}
 	e.rawNames = make([]string, len(m.Config.Tables))
 	e.hashedNames = make([]string, len(m.Config.Tables))
 	for i := range m.Config.Tables {
@@ -421,6 +458,7 @@ func (e *Engine) Execute(ctx trace.Context, req *RankingRequest) ([]float32, err
 // executeValidated is Execute after shape validation: batch-level
 // parallel execution of one (possibly coalesced) request.
 func (e *Engine) executeValidated(ctx trace.Context, req *RankingRequest) ([]float32, error) {
+	e.met.requests.Inc()
 	// One program load per request: every batch of this request routes
 	// under the same plan generation even if Reroute lands mid-flight.
 	prog := e.prog.Load()
@@ -438,6 +476,7 @@ func (e *Engine) executeValidated(ctx trace.Context, req *RankingRequest) ([]flo
 		wg.Add(1)
 		go func(bi, start, end int) {
 			defer wg.Done()
+			e.met.batches.Inc()
 			out, err := e.runBatch(prog, ctx, req, start, end)
 			if err != nil {
 				errs[bi] = err
@@ -550,6 +589,8 @@ func (e *Engine) buildRPCOps(ws *nn.Workspace, np *netProgram, ctx trace.Context
 			ctx:         ctx,
 			batchItems:  batchItems,
 			hashedNames: e.hashedNames,
+			calls:       e.met.rpcCalls,
+			outNs:       e.met.rpcOutstandingNs,
 		})
 	}
 	return ops

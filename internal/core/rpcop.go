@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/embedding"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/tensor"
 	"repro/internal/trace"
@@ -168,6 +169,10 @@ type rpcOp struct {
 	batchItems int
 	// hashedNames maps table ID to its hashed-bags blob name.
 	hashedNames []string
+	// calls/outNs are the engine's sparse-RPC metric handles (nil no-ops
+	// without a registry).
+	calls *obs.Counter
+	outNs *obs.Histogram
 }
 
 // Name implements nn.Op.
@@ -229,9 +234,11 @@ func (o *rpcOp) Run(ws *nn.Workspace) error {
 		Method: "sparse.run", TraceID: o.ctx.TraceID, CallID: callID, Body: body,
 	})
 
+	o.calls.Inc()
 	go func() {
 		<-call.Done
 		outstanding := o.rec.Now().Sub(issue)
+		o.outNs.Observe(int64(outstanding))
 		o.rec.Record(trace.Span{
 			TraceID: o.ctx.TraceID, CallID: callID, Layer: trace.LayerRPCCall,
 			Net: o.net, Name: o.name, Start: issue, Dur: outstanding,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/embedding"
 	"repro/internal/model"
 	"repro/internal/nn"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/sharding"
 	"repro/internal/trace"
@@ -64,6 +65,9 @@ type SparseShard struct {
 
 	epoch atomic.Uint64
 
+	// met holds the shard's metric handles (nil no-ops until SetObs).
+	met shardMetrics
+
 	loadMu sync.Mutex
 	load   *sharding.LoadSummary
 	// lastLoad retains the most recent collected (and reset) window so
@@ -83,6 +87,51 @@ func NewSparseShard(name string, rec *trace.Recorder) *SparseShard {
 		fwdClients: make(map[string]rpc.Caller),
 		load:       sharding.NewLoadSummary(),
 	}
+}
+
+// shardMetrics is a sparse shard's live-telemetry handle set, under the
+// "<shard>." namespace. All handles are nil (free no-ops) before SetObs.
+type shardMetrics struct {
+	runCalls *obs.Counter   // sparse.run requests served
+	runNs    *obs.Histogram // full handleRun duration (decode → encode)
+	opNs     *obs.Histogram // local pooling-net execution time
+	forwards *obs.Counter   // forward calls issued to destination shards
+
+	migrateBegins  *obs.Counter
+	migrateChunks  *obs.Counter
+	migrateBytes   *obs.Counter // streamed chunk payload bytes received
+	migrateCommits *obs.Counter
+	snapshotReads  *obs.Counter // migrate/snapshot row-range reads served
+}
+
+// SetObs attaches a metrics registry: counters and histograms under the
+// shard's name ("sparse1.sparse.run_ns", "sparse1.migrate.chunks", ...)
+// plus a probe group exporting the tiered store's state at snapshot
+// time. Call before serving begins.
+func (s *SparseShard) SetObs(reg *obs.Registry) {
+	p := s.ShardName + "."
+	s.met = shardMetrics{
+		runCalls:       reg.Counter(p + "sparse.calls"),
+		runNs:          reg.Histogram(p + "sparse.run_ns"),
+		opNs:           reg.Histogram(p + "sparse.op_ns"),
+		forwards:       reg.Counter(p + "sparse.forwards"),
+		migrateBegins:  reg.Counter(p + "migrate.begins"),
+		migrateChunks:  reg.Counter(p + "migrate.chunks"),
+		migrateBytes:   reg.Counter(p + "migrate.bytes"),
+		migrateCommits: reg.Counter(p + "migrate.commits"),
+		snapshotReads:  reg.Counter(p + "snapshot.reads"),
+	}
+	reg.RegisterProbeGroup(func(emit func(string, int64)) {
+		ts := s.TierSnapshot()
+		emit(p+"tier.tables", int64(ts.Tables))
+		emit(p+"tier.cold_bytes", ts.ColdBytes)
+		emit(p+"tier.cache_bytes", ts.CacheBytes)
+		emit(p+"tier.cache_cap_bytes", ts.CacheCapBytes)
+		emit(p+"tier.hits", ts.Hits)
+		emit(p+"tier.misses", ts.Misses)
+		emit(p+"tier.admits", ts.Admits)
+		emit(p+"epoch", int64(s.Epoch()))
+	})
 }
 
 // AddTable installs a whole table.
@@ -233,6 +282,10 @@ type runEntry struct {
 }
 
 func (s *SparseShard) handleRun(ctx trace.Context, body []byte) ([]byte, error) {
+	s.met.runCalls.Inc()
+	runStart := time.Now()
+	defer func() { s.met.runNs.Observe(int64(time.Since(runStart))) }()
+
 	// Deserialize (RPC Ser/De at the sparse shard).
 	desStart := s.rec.Now()
 	req, err := DecodeSparseRequest(body)
@@ -286,16 +339,17 @@ func (s *SparseShard) handleRun(ctx trace.Context, body []byte) ([]byte, error) 
 				Output:    fmt.Sprintf("pooled_%d", le.idx),
 			})
 		}
-		obs := &trace.NetObserver{R: s.rec, Ctx: ctx}
+		netObs := &trace.NetObserver{R: s.rec, Ctx: ctx}
 		net := &nn.Net{NetName: req.Net, Ops: []nn.Op{sls}}
 		opStart := time.Now()
-		if err := net.Run(ws, obs); err != nil {
+		if err := net.Run(ws, netObs); err != nil {
 			return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
 		}
 		if s.OpComputeScale > 1 {
 			burnFor(time.Duration(float64(time.Since(opStart)) * (s.OpComputeScale - 1)))
 		}
 		opDur := time.Since(opStart)
+		s.met.opNs.Observe(int64(opDur))
 		s.accountLoad(local, opDur)
 
 		for _, le := range local {
@@ -392,6 +446,7 @@ func (s *SparseShard) issueForwards(ctx trace.Context, net string, forwarded []r
 			Method: MethodSparseRun, TraceID: ctx.TraceID, CallID: s.rec.NextID(),
 			Body: EncodeSparseRequest(sreq),
 		})
+		s.met.forwards.Inc()
 		calls = append(calls, pending{g: g, call: call, issue: issue})
 	}
 	return func(results []PooledEntry) error {
@@ -457,6 +512,7 @@ func (s *SparseShard) handleMigrateBegin(ctx trace.Context, body []byte) ([]byte
 		Name:  fmt.Sprintf("migrate/begin/t%d.%d", m.TableID, m.PartIndex),
 		Start: start, Dur: s.rec.Now().Sub(start),
 	})
+	s.met.migrateBegins.Inc()
 	return nil, nil
 }
 
@@ -499,6 +555,7 @@ func (s *SparseShard) handleMigrateRead(ctx trace.Context, body []byte) ([]byte,
 			Name:  fmt.Sprintf("migrate/read/t%d.%d", m.TableID, m.PartIndex),
 			Start: start, Dur: s.rec.Now().Sub(start),
 		})
+		s.met.snapshotReads.Inc()
 	}
 	return EncodeMigrateReadResponse(resp), nil
 }
@@ -536,6 +593,8 @@ func (s *SparseShard) handleMigrateChunk(ctx trace.Context, body []byte) ([]byte
 		Name:  fmt.Sprintf("migrate/chunk/t%d.%d", m.TableID, m.PartIndex),
 		Start: start, Dur: s.rec.Now().Sub(start),
 	})
+	s.met.migrateChunks.Inc()
+	s.met.migrateBytes.Add(int64(4*len(m.Data) + len(m.Raw)))
 	return nil, nil
 }
 
@@ -567,6 +626,7 @@ func (s *SparseShard) handleMigrateCommit(ctx trace.Context, body []byte) ([]byt
 	}
 	epoch := s.epoch.Add(1)
 	s.retier()
+	s.met.migrateCommits.Inc()
 	s.rec.Record(trace.Span{
 		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
 		Name:  fmt.Sprintf("migrate/commit/t%d.%d", m.TableID, m.PartIndex),
@@ -743,9 +803,16 @@ func HandleRank(rec *trace.Recorder, ctx trace.Context, method string, body []by
 type MainService struct {
 	Engine *Engine
 	Rec    *trace.Recorder
+	// Tracer, when set, finishes each request's live trace with its
+	// measured service latency (unfronted deployments; the frontend
+	// finishes traces itself).
+	Tracer *obs.Tracer
 }
 
 // Handle implements rpc.Handler.
 func (s *MainService) Handle(ctx trace.Context, method string, body []byte) ([]byte, error) {
-	return HandleRank(s.Rec, ctx, method, body, s.Engine.Execute)
+	start := time.Now()
+	out, err := HandleRank(s.Rec, ctx, method, body, s.Engine.Execute)
+	s.Tracer.Finish(ctx.TraceID, time.Since(start), err != nil)
+	return out, err
 }

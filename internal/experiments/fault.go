@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sharding"
 	"repro/internal/stats"
@@ -81,8 +82,8 @@ func (r *Runner) Fault(w io.Writer) error {
 
 	const quantile = 0.9
 	fmt.Fprintf(w, "kill at n/3, replace (snapshot rebuild from peer) at 2n/3, n=%d; SLA p%.0f at 3x healthy P50\n\n", n, 100*quantile)
-	fmt.Fprintf(w, "%-5s %-6s %-7s %-6s %-9s %-9s %-10s %-7s %-7s %-9s %-10s %-9s %-9s %s\n",
-		"repl", "kills", "delay", "eject", "p50", "p99", "SLA", "fall%", "late%", "eject", "rebuild", "rejoin", "KiB", "identity")
+	fmt.Fprintf(w, "%-5s %-6s %-7s %-6s %-9s %-9s %-10s %-7s %-7s %-9s %-10s %-9s %-9s %-7s %-7s %s\n",
+		"repl", "kills", "delay", "eject", "p50", "p99", "SLA", "fall%", "late%", "eject", "rebuild", "rejoin", "KiB", "hedges", "ejects", "identity")
 
 	cells := []struct {
 		replicas, kills int
@@ -124,13 +125,13 @@ func (r *Runner) Fault(w io.Writer) error {
 		} else {
 			noEjectViolated = noEjectViolated && !row.rep.Met
 		}
-		fmt.Fprintf(w, "%-5d %-6d %-7s %-6v %-9s %-9s %-10s %-7.1f %-7.1f %-9s %-10s %-9s %-9.0f %s\n",
+		fmt.Fprintf(w, "%-5d %-6d %-7s %-6v %-9s %-9s %-10s %-7.1f %-7.1f %-9s %-10s %-9s %-9.0f %-7d %-7d %s\n",
 			c.replicas, c.kills, fmtMS(delay), c.eject,
 			fmtMS(time.Duration(row.p50*float64(time.Second))),
 			fmtMS(time.Duration(row.p99*float64(time.Second))),
 			verdict, 100*row.rep.FallbackRate, 100*row.rep.LateRate,
 			fmtMS(row.ejectAfter), fmtMS(row.rebuildDur), fmtMS(row.rejoin),
-			float64(row.rebuildBytes)/1024, identity)
+			float64(row.rebuildBytes)/1024, row.hedges, row.ejections, identity)
 	}
 
 	fmt.Fprintf(w, "\nhealth ejection kept the SLA met in every ejection cell: %v; ejection-off cells violated: %v; all cells byte-identical to control: %v\n",
@@ -162,7 +163,12 @@ type faultRow struct {
 	rebuildDur   time.Duration
 	rebuildBytes int64
 	rejoin       time.Duration // replace → back in rotation
-	identical    bool
+	// hedges and ejections come from the deployment's obs registry
+	// (replication.sparse1.*), exercising the same export the live
+	// -metrics-addr endpoint serves.
+	hedges    int64
+	ejections int64
+	identical bool
 }
 
 // faultCell boots one deployment, replays the scored stream with a
@@ -171,6 +177,7 @@ type faultRow struct {
 func (r *Runner) faultCell(m *model.Model, plan *sharding.Plan, warm, stream []*workload.Request, o faultCellOpts, want [][]float32) (*faultRow, error) {
 	opts := cluster.Options{
 		Seed: r.P.Seed, SparseReplicas: o.replicas, HedgeDelay: o.delay,
+		Obs: obs.NewRegistry(),
 	}
 	if o.eject {
 		opts.HealthFails = 2
@@ -255,5 +262,8 @@ func (r *Runner) faultCell(m *model.Model, plan *sharding.Plan, warm, stream []*
 	row.rep = sla.Evaluate(res)
 	sample := stats.NewDurationSample(res.ClientE2E)
 	row.p50, row.p99 = sample.P50(), sample.P99()
+	snap := cl.Obs.Snapshot()
+	row.hedges = snap.Gauge("replication.sparse1.hedges")
+	row.ejections = snap.Gauge("replication.sparse1.ejections")
 	return row, nil
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/frontend"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/sharding"
 	"repro/internal/stats"
@@ -61,11 +62,12 @@ func (r *Runner) Frontier(w io.Writer) error {
 	fmt.Fprintf(w, "serial capacity %.0f QPS, mean latency %v -> SLA budget %v @ p99\n\n",
 		capacity, meanLat.Round(time.Microsecond), budget.Round(time.Millisecond))
 
-	fmt.Fprintf(w, "%-10s %-8s %-10s %-10s %-10s %-10s %-10s %s\n",
-		"window", "load", "offered", "achieved", "p50(ms)", "p99(ms)", "fallback%", "reqs/batch")
+	fmt.Fprintf(w, "%-10s %-8s %-10s %-10s %-10s %-10s %-10s %-11s %s\n",
+		"window", "load", "offered", "achieved", "p50(ms)", "p99(ms)", "fallback%", "reqs/batch", "shed(obs)")
 	for _, window := range []time.Duration{0, 2 * time.Millisecond, 8 * time.Millisecond} {
 		cl, err := cluster.Boot(m, plan, cluster.Options{
 			Seed: r.P.Seed,
+			Obs:  obs.NewRegistry(),
 			Frontend: &frontend.Config{
 				BatchWait: window,
 				MaxQueue:  2 * n,
@@ -86,7 +88,11 @@ func (r *Runner) Frontier(w io.Writer) error {
 			cl.Close()
 			return fmt.Errorf("frontier warmup (window %v): %v", window, warm.Errors[0])
 		}
-		prev := cl.Frontend.Stats()
+		// Batch and shed accounting comes from the cluster's obs registry
+		// — the same export the live -metrics-addr endpoint serves — so
+		// the experiment doubles as an end-to-end check of the frontend's
+		// probe-group wiring.
+		prev := cl.Obs.Snapshot()
 		for _, mult := range []float64{0.5, 1.0, 2.0} {
 			// Every cell replays the identical request stream, the
 			// paper's fixed-trace methodology.
@@ -100,19 +106,21 @@ func (r *Runner) Frontier(w io.Writer) error {
 				return fmt.Errorf("frontier window %v x%.1f: %d hard failures: %v",
 					window, mult, res.Failed(), res.Errors[0])
 			}
-			st := cl.Frontend.Stats()
-			batches := st.Batches - prev.Batches
+			st := cl.Obs.Snapshot()
+			batches := st.Gauge("frontend.batches") - prev.Gauge("frontend.batches")
 			perBatch := 0.0
 			if batches > 0 {
-				perBatch = float64(st.BatchedRequests-prev.BatchedRequests) / float64(batches)
+				perBatch = float64(st.Gauge("frontend.batched_requests")-prev.Gauge("frontend.batched_requests")) / float64(batches)
 			}
+			shed := st.Gauge("frontend.shed_budget") + st.Gauge("frontend.shed_queue_full") + st.Gauge("frontend.shed_deadline") -
+				prev.Gauge("frontend.shed_budget") - prev.Gauge("frontend.shed_queue_full") - prev.Gauge("frontend.shed_deadline")
 			prev = st
 			sample := stats.NewDurationSample(res.ClientE2E)
 			rep := sla.Evaluate(res)
-			fmt.Fprintf(w, "%-10v %-8s %-10.0f %-10.0f %-10.2f %-10.2f %-10.1f %.2f\n",
+			fmt.Fprintf(w, "%-10v %-8s %-10.0f %-10.0f %-10.2f %-10.2f %-10.1f %-11.2f %d\n",
 				window, fmt.Sprintf("%.1fx", mult), capacity*mult,
 				float64(len(res.ClientE2E))/elapsed.Seconds(),
-				sample.P50()*1e3, sample.P99()*1e3, 100*rep.FallbackRate, perBatch)
+				sample.P50()*1e3, sample.P99()*1e3, 100*rep.FallbackRate, perBatch, shed)
 		}
 		client.Close()
 		cl.Close()

@@ -33,6 +33,7 @@ func (f *Frontend) run() {
 		}
 		batch := []*pending{p}
 		items := int(p.item.Req.Items)
+		gatherStart := time.Now()
 
 		if timer != nil && items < f.cfg.MaxBatchItems {
 			timer.Reset(f.cfg.BatchWait)
@@ -73,6 +74,7 @@ func (f *Frontend) run() {
 				}
 			}
 		}
+		f.met.gatherNs.Observe(int64(time.Since(gatherStart)))
 		f.dispatch(batch, items)
 	}
 }
@@ -83,6 +85,9 @@ func (f *Frontend) run() {
 // ones, and runs the survivors as one coalesced execution.
 func (f *Frontend) dispatch(batch []*pending, items int) {
 	now := time.Now()
+	for _, p := range batch {
+		f.met.queueWaitNs.Observe(int64(now.Sub(p.enq)))
+	}
 	keep := make([]*pending, 0, len(batch))
 	for _, p := range batch {
 		// Re-price the batch after every shed: a dropped large request
@@ -116,8 +121,12 @@ func (f *Frontend) dispatch(batch []*pending, items int) {
 	}
 	start := time.Now()
 	outs, err := f.exec.ExecuteBatch(calls)
-	f.est.observe(time.Since(start), items)
+	execDur := time.Since(start)
+	f.est.observe(execDur, items)
 
+	f.met.execNs.Observe(int64(execDur))
+	f.met.batchRequests.Observe(int64(len(keep)))
+	f.met.batchItems.Observe(int64(items))
 	f.stats.batches.Add(1)
 	f.stats.batchedRequests.Add(uint64(len(keep)))
 	f.stats.batchedItems.Add(uint64(items))

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/rpc"
 	"repro/internal/trace"
 )
@@ -84,6 +85,14 @@ type Config struct {
 	// that cannot complete inside it — at admission or when their batch
 	// dispatches — are shed. 0 disables deadline-based shedding.
 	Budget time.Duration
+	// Obs receives the frontend's live metrics (frontend.* namespace):
+	// the admission/batching counters as snapshot-time probes plus
+	// per-stage latency histograms. Nil or obs.Discard() leaves only the
+	// internal counters (which Stats and admission pricing always use).
+	Obs *obs.Registry
+	// Tracer, when set, finishes each submitted request's live trace with
+	// its measured frontend latency; sheds finish as deadline misses.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +111,7 @@ func (c Config) withDefaults() Config {
 // pending is one request waiting in the frontend.
 type pending struct {
 	item     core.BatchItem
+	enq      time.Time // when Submit queued it (queue-wait accounting)
 	deadline time.Time // zero when Budget is 0
 	// probe marks a request admitted past a failing budget estimate so
 	// the estimator keeps learning; it sheds only on a hard-expired
@@ -132,13 +142,49 @@ type Frontend struct {
 	est       estimator
 	probeTick atomic.Uint64
 	stats     counters
+	met       frontendMetrics
+	tracer    *obs.Tracer
 	wg        sync.WaitGroup
+}
+
+// frontendMetrics holds the frontend's histogram handles (nil no-ops
+// without a registry). The monotonic counters stay in the internal
+// counters struct — admission pricing reads them — and are exported to
+// the registry as snapshot-time probes instead of being duplicated.
+type frontendMetrics struct {
+	queueWaitNs   *obs.Histogram // Submit enqueue → dispatch decision
+	gatherNs      *obs.Histogram // batch opener dequeued → dispatch
+	execNs        *obs.Histogram // coalesced ExecuteBatch latency
+	batchRequests *obs.Histogram // requests per dispatched batch
+	batchItems    *obs.Histogram // items per dispatched batch
 }
 
 // New starts a frontend over exec. Call Close to drain and stop.
 func New(exec Executor, cfg Config) *Frontend {
-	f := &Frontend{cfg: cfg.withDefaults(), exec: exec}
+	f := &Frontend{cfg: cfg.withDefaults(), exec: exec, tracer: cfg.Tracer}
 	f.queue = make(chan *pending, f.cfg.MaxQueue)
+	reg := f.cfg.Obs
+	f.met = frontendMetrics{
+		queueWaitNs:   reg.Histogram("frontend.queue_wait_ns"),
+		gatherNs:      reg.Histogram("frontend.gather_ns"),
+		execNs:        reg.Histogram("frontend.exec_ns"),
+		batchRequests: reg.Histogram("frontend.batch_requests"),
+		batchItems:    reg.Histogram("frontend.batch_items"),
+	}
+	reg.RegisterProbe("frontend.queue_depth", func() int64 { return int64(len(f.queue)) })
+	reg.RegisterProbeGroup(func(emit func(string, int64)) {
+		s := f.Stats()
+		emit("frontend.submitted", int64(s.Submitted))
+		emit("frontend.completed", int64(s.Completed))
+		emit("frontend.batches", int64(s.Batches))
+		emit("frontend.batched_requests", int64(s.BatchedRequests))
+		emit("frontend.batched_items", int64(s.BatchedItems))
+		emit("frontend.max_batch_requests", int64(s.MaxBatchRequests))
+		emit("frontend.shed_queue_full", int64(s.ShedQueueFull))
+		emit("frontend.shed_budget", int64(s.ShedBudget))
+		emit("frontend.shed_deadline", int64(s.ShedDeadline))
+		emit("frontend.probes", int64(s.Probes))
+	})
 	f.wg.Add(1)
 	go f.run()
 	return f
@@ -170,7 +216,7 @@ func (f *Frontend) Submit(ctx trace.Context, req *core.RankingRequest) ([]float3
 		return nil, err
 	}
 	now := time.Now()
-	p := &pending{item: core.BatchItem{Ctx: ctx, Req: req}, done: make(chan struct{})}
+	p := &pending{item: core.BatchItem{Ctx: ctx, Req: req}, enq: now, done: make(chan struct{})}
 	if f.cfg.Budget > 0 {
 		p.deadline = now.Add(f.cfg.Budget)
 		// Early drop: if the estimated queue + service time already
@@ -186,6 +232,7 @@ func (f *Frontend) Submit(ctx trace.Context, req *core.RankingRequest) ([]float3
 		if now.Add(est).After(p.deadline) {
 			if f.probeTick.Add(1)%probeEvery != 0 {
 				f.stats.shedBudget.Add(1)
+				f.tracer.Finish(ctx.TraceID, time.Since(now), true)
 				return nil, fmt.Errorf("%w: estimated service %v exceeds budget %v", ErrShed, est.Round(time.Microsecond), f.cfg.Budget)
 			}
 			p.probe = true
@@ -204,10 +251,14 @@ func (f *Frontend) Submit(ctx trace.Context, req *core.RankingRequest) ([]float3
 	default:
 		f.mu.Unlock()
 		f.stats.shedQueueFull.Add(1)
+		f.tracer.Finish(ctx.TraceID, time.Since(now), true)
 		return nil, fmt.Errorf("%w: queue full (%d deep)", ErrShed, f.cfg.MaxQueue)
 	}
 	f.stats.submitted.Add(1)
 	<-p.done
+	// A non-nil error here is a late shed (dispatch-time deadline check)
+	// or an execution failure; either way the request missed its answer.
+	f.tracer.Finish(ctx.TraceID, time.Since(now), p.err != nil)
 	return p.scores, p.err
 }
 

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves a registry (and optional tracer) over HTTP:
+//
+//	/metrics       text snapshot, one metric per line
+//	/metrics.json  JSON snapshot (schema validated by cmd/metricscheck)
+//	/traces        live-trace summaries (404 when tracing is disabled)
+//	/debug/pprof/  the standard runtime profiles
+func Handler(reg *Registry, tr *Tracer) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = reg.Snapshot().WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		b, err := reg.Snapshot().MarshalJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(b)
+	})
+	mux.HandleFunc("/traces", func(w http.ResponseWriter, r *http.Request) {
+		if tr == nil {
+			http.Error(w, "tracing disabled (-trace-sample 0)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = tr.WriteText(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve starts the telemetry HTTP endpoint on addr, returning the bound
+// address and a shutdown func.
+func Serve(addr string, reg *Registry, tr *Tracer) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, tr)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), func() { srv.Close() }, nil
+}
+
+// StartLogger emits a snapshot diff to w every interval until the
+// returned stop func is called — the flight-recorder view for long
+// drmserve runs.
+func StartLogger(reg *Registry, w io.Writer, every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		prev := reg.Snapshot()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				cur := reg.Snapshot()
+				d := cur.Diff(prev)
+				fmt.Fprintf(w, "obs snapshot %s (window %v)\n",
+					cur.At.Format(time.RFC3339), cur.At.Sub(prev.At).Round(time.Millisecond))
+				_ = d.WriteText(w)
+				prev = cur
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -82,6 +82,65 @@ func (h *Histogram) AddAll(xs []float64) {
 // Total returns the number of recorded observations.
 func (h *Histogram) Total() int { return h.total }
 
+// Merge folds another histogram's counts into h. Both histograms must
+// share the same bucket edges (built with identical constructor
+// arguments); mismatched layouts are a programmer error and panic.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if len(h.Edges) != len(o.Edges) || len(h.Counts) != len(o.Counts) {
+		panic(fmt.Sprintf("stats: merging histograms with %d and %d buckets", len(h.Counts), len(o.Counts)))
+	}
+	for i, e := range h.Edges {
+		if e != o.Edges[i] {
+			panic(fmt.Sprintf("stats: merging histograms with different edges at %d: %g vs %g", i, e, o.Edges[i]))
+		}
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.total += o.total
+}
+
+// Quantile reconstructs the q-quantile (q clamped to [0,1]) by walking
+// the cumulative bucket counts and interpolating linearly inside the
+// landing bucket. The result is exact to within one bucket width; an
+// empty histogram returns NaN.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.total)
+	cum := 0.0
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			frac := (rank - cum) / float64(c)
+			lo, hi := h.Edges[i], h.Edges[i+1]
+			return lo + frac*(hi-lo)
+		}
+		cum = next
+	}
+	// q == 1 with floating-point slack: the top edge of the last occupied
+	// bucket.
+	for i := len(h.Counts) - 1; i >= 0; i-- {
+		if h.Counts[i] > 0 {
+			return h.Edges[i+1]
+		}
+	}
+	return math.NaN()
+}
+
 // Render draws an ASCII bar chart with the given maximum bar width.
 // Empty histograms render a single explanatory line.
 func (h *Histogram) Render(width int) string {

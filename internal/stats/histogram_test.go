@@ -102,6 +102,124 @@ func TestHistogramTotalConservedProperty(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileBasic(t *testing.T) {
+	h := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i) + 0.5) // one observation per unit bucket
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 0}, {0.5, 50}, {0.95, 95}, {1, 100},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1.0 {
+			t.Errorf("Quantile(%v) = %v, want ~%v", tc.q, got, tc.want)
+		}
+	}
+	empty := NewHistogram(0, 1, 2)
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// Out-of-range q clamps rather than panicking.
+	if got := h.Quantile(-3); math.IsNaN(got) {
+		t.Error("q<0 should clamp to 0")
+	}
+	if got := h.Quantile(7); math.IsNaN(got) {
+		t.Error("q>1 should clamp to 1")
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, qa, qb float64) bool {
+		h := NewHistogram(-50, 50, 23)
+		n := 0
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		if n == 0 {
+			return true
+		}
+		// Normalize the two quantiles into [0,1] and order them.
+		qa, qb = math.Abs(math.Mod(qa, 1)), math.Abs(math.Mod(qb, 1))
+		if math.IsNaN(qa) || math.IsNaN(qb) {
+			return true
+		}
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMergeEquivalentToCombinedProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		a := NewHistogram(-100, 100, 17)
+		b := NewHistogram(-100, 100, 17)
+		combined := NewHistogram(-100, 100, 17)
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				continue
+			}
+			a.Add(x)
+			combined.Add(x)
+		}
+		for _, y := range ys {
+			if math.IsNaN(y) {
+				continue
+			}
+			b.Add(y)
+			combined.Add(y)
+		}
+		a.Merge(b)
+		if a.Total() != combined.Total() {
+			return false
+		}
+		for i := range a.Counts {
+			if a.Counts[i] != combined.Counts[i] {
+				return false
+			}
+		}
+		// Identical counts imply identical quantiles.
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 1} {
+			qa, qc := a.Quantile(q), combined.Quantile(q)
+			if qa != qc && !(math.IsNaN(qa) && math.IsNaN(qc)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("merging mismatched layouts should panic")
+		}
+	}()
+	a := NewHistogram(0, 10, 5)
+	b := NewHistogram(0, 10, 7)
+	b.Add(1)
+	a.Merge(b)
+}
+
+func TestHistogramMergeNilAndEmpty(t *testing.T) {
+	a := NewHistogram(0, 10, 5)
+	a.Add(3)
+	a.Merge(nil)
+	a.Merge(NewHistogram(0, 20, 9)) // empty: layout not even checked
+	if a.Total() != 1 {
+		t.Errorf("Total = %d after no-op merges, want 1", a.Total())
+	}
+}
+
 func TestHistogramRender(t *testing.T) {
 	h := NewHistogram(0, 10, 2)
 	if !strings.Contains(h.Render(40), "no observations") {

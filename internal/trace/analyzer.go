@@ -76,6 +76,17 @@ func Analyze(spans []Span, mainShard string) []RequestBreakdown {
 	return out
 }
 
+// AnalyzeOne derives the breakdown for a single trace's spans (all
+// sharing one trace ID — the live tracer's per-trace buffers). It
+// reports ok=false when the spans are empty or lack the main-shard
+// request span that anchors the attribution.
+func AnalyzeOne(spans []Span, mainShard string) (RequestBreakdown, bool) {
+	if len(spans) == 0 {
+		return RequestBreakdown{}, false
+	}
+	return analyzeTrace(spans[0].TraceID, spans, mainShard)
+}
+
 func analyzeTrace(id uint64, spans []Span, mainShard string) (RequestBreakdown, bool) {
 	b := RequestBreakdown{
 		TraceID:           id,
@@ -179,11 +190,13 @@ func analyzeTrace(id uint64, spans []Span, mainShard string) (RequestBreakdown, 
 		b.BoundOutstanding = bounding.Dur
 		// Attribute inside the bounding call using the callee's spans.
 		var calleeE2E time.Duration
+		sawCalleeE2E := false
 		for _, s := range calleeByCall[bounding.CallID] {
 			switch s.Layer {
 			case LayerRequest:
 				calleeE2E = s.Dur
 				b.BoundShard = s.Shard
+				sawCalleeE2E = true
 			case LayerOp:
 				b.BoundSparseOps += s.Dur
 			case LayerSerDe:
@@ -194,8 +207,14 @@ func analyzeTrace(id uint64, spans []Span, mainShard string) (RequestBreakdown, 
 				b.BoundNetOverhead += s.Dur
 			}
 		}
-		if net := bounding.Dur - calleeE2E; net > 0 {
-			b.BoundNetwork = net
+		// Network time is outstanding − callee E2E, and only meaningful
+		// when the callee's request span actually arrived: with it missing
+		// (dropped slab, partial trace) the subtraction would book the
+		// whole outstanding window as network.
+		if sawCalleeE2E {
+			if net := bounding.Dur - calleeE2E; net > 0 {
+				b.BoundNetwork = net
+			}
 		}
 	}
 	return b, true

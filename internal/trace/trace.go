@@ -101,6 +101,16 @@ type Span struct {
 	Dur time.Duration
 }
 
+// SpanSink observes spans as they are recorded — the live-telemetry tee
+// (obs.Tracer implements it). Consumers must be cheap on unsampled spans
+// and must not call back into the recorder.
+type SpanSink interface {
+	ConsumeSpan(Span)
+}
+
+// sinkBox wraps the interface value so an atomic.Pointer can hold it.
+type sinkBox struct{ sink SpanSink }
+
 // Recorder collects spans for one shard. Appends go through an atomic
 // cursor into a fixed slab — no locks on the hot path, matching the
 // paper's lock-free trace buffer. When the slab fills, further spans are
@@ -110,6 +120,10 @@ type Recorder struct {
 	slab   []Span
 	cursor atomic.Int64
 	drops  atomic.Int64
+	// sink, when set, sees every span Record accepts — including ones
+	// the full slab drops, so live tracing keeps working after the
+	// offline buffer is exhausted.
+	sink atomic.Pointer[sinkBox]
 	// skew is added to recorded timestamps to simulate an unsynchronized
 	// shard clock; the analyzer must remain correct in its presence.
 	skew time.Duration
@@ -141,12 +155,25 @@ func (r *Recorder) Now() time.Time { return time.Now().Add(r.skew) }
 // r.Now for Start; Record applies no further adjustment).
 func (r *Recorder) Record(s Span) {
 	s.Shard = r.shard
+	if b := r.sink.Load(); b != nil {
+		b.sink.ConsumeSpan(s)
+	}
 	idx := r.cursor.Add(1) - 1
 	if int(idx) >= len(r.slab) {
 		r.drops.Add(1)
 		return
 	}
 	r.slab[idx] = s
+}
+
+// SetSink installs (or, with nil, removes) a live span tee. Swaps are
+// atomic with respect to concurrent Record calls.
+func (r *Recorder) SetSink(s SpanSink) {
+	if s == nil {
+		r.sink.Store(nil)
+		return
+	}
+	r.sink.Store(&sinkBox{sink: s})
 }
 
 // NextID returns a recorder-unique id, combined with the shard for
