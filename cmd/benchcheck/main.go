@@ -11,6 +11,9 @@
 //
 // Comparison keys on ns/op per benchmark name (GOMAXPROCS suffix
 // stripped, so a differently-sized CI runner still matches names).
+// When a name repeats — `go test -bench -count=N` — the best (minimum)
+// ns/op wins: the minimum estimates the workload's true cost, while the
+// other runs mostly measure scheduler noise on a shared CI box.
 // Benchmarks present on only one side are reported but never fail the
 // gate — adding or retiring a benchmark is not a regression.
 package main
@@ -134,6 +137,10 @@ func parse(f io.Reader) (map[string]Result, error) {
 		iters, _ := strconv.Atoi(m[2])
 		ns, err := strconv.ParseFloat(m[3], 64)
 		if err != nil {
+			continue
+		}
+		// Best-of-N: -count=N repeats a name; keep the fastest run.
+		if prev, ok := out[m[1]]; ok && prev.NsPerOp <= ns {
 			continue
 		}
 		out[m[1]] = Result{Iterations: iters, NsPerOp: ns}

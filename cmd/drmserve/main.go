@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/frontend"
 	"repro/internal/model"
@@ -38,10 +39,10 @@ import (
 )
 
 func main() {
+	var models modelFlags
 	var (
-		role      = flag.String("role", "main", "shard role: main or sparse")
+		role      = flag.String("role", "main", "shard role: main, sparse, or coserve")
 		shardNum  = flag.Int("shard", 1, "sparse shard number (1-based)")
-		modelName = flag.String("model", "DRM1", "model: DRM1, DRM2, DRM3")
 		strategy  = flag.String("strategy", "load-bal", "sharding strategy")
 		shards    = flag.Int("shards", 2, "sparse shard count")
 		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
@@ -83,6 +84,14 @@ func main() {
 		densePar  = flag.Int("dense-par", 0, "dense GEMM workers per multiply: 0 = GOMAXPROCS, 1 = serial")
 		gemmBlock = flag.Int("gemm-block", 0, "dense GEMM row-tile height per worker claim (0 = default)")
 
+		// Multi-model co-serving (coserve role): every -model becomes one
+		// hosted tenant behind a shared front door, with an elastic
+		// scheduler moving replica capacity between them.
+		capacity     = flag.Float64("capacity", 0, "coserve role: fleet hardware in units (sparse servers); 0 = exactly the sum of initial allocations")
+		elasticEvery = flag.Duration("elastic-every", 0, "coserve role: elastic scheduler tick (0 disables autonomous reallocation)")
+		scale        = flag.String("scale", "", "coserve role: force MODEL=N serving replicas after -scale-after (the CI smoke's forced scale-up)")
+		scaleAfter   = flag.Duration("scale-after", 2*time.Second, "coserve role: delay before applying -scale")
+
 		// Live telemetry: the obs registry aggregates per-stage counters
 		// and latency histograms; sampled request tracing adds end-to-end
 		// stage breakdowns for one of every -trace-sample requests.
@@ -90,41 +99,53 @@ func main() {
 		traceSample = flag.Int("trace-sample", 0, "main role: live-sample one of every N requests into a stage-breakdown trace (0 disables; deadline misses always sampled)")
 		metricsLog  = flag.Duration("metrics-log", 0, "log a metrics snapshot diff to stderr at this interval (0 disables)")
 	)
+	flag.Var(&models, "model", "model to serve: DRM1, DRM2, DRM3; -role coserve takes repeated tenant specs NAME[=MODEL][:key=val,...] (keys: sla, shards, strategy, replicas, slots, min, max, queue, batch-wait, batch-reqs)")
 	flag.Parse()
 	tensor.SetParallelism(*densePar)
 	tensor.SetBlockRows(*gemmBlock)
 
-	var m *model.Model
-	if *modelFile != "" {
-		f, err := os.Open(*modelFile)
-		if err != nil {
-			fatal(err)
-		}
-		m, err = model.Load(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		if m.Config.Name != *modelName {
-			fatal(fmt.Errorf("model file holds %s, flag says %s", m.Config.Name, *modelName))
-		}
-	}
-	cfg := model.ByName(*modelName)
-	if m != nil {
-		cfg = m.Config
-	}
-	pooling := workload.EstimatePooling(workload.NewGenerator(cfg, 991), 200)
-	plan, err := buildPlan(&cfg, *strategy, *shards, pooling)
+	scaleModel, scaleTo, err := parseScale(*scale)
 	if err != nil {
 		fatal(err)
-	}
-	if m == nil {
-		m = model.Build(cfg)
 	}
 
-	tier, err := buildTier(&cfg, *cacheMB, *coldPrec, *errBudget)
-	if err != nil {
-		fatal(err)
+	// The single-model roles derive one model and plan from the flags;
+	// coserve builds a model and plan per tenant spec instead.
+	var m *model.Model
+	var plan *sharding.Plan
+	var tier *core.TierConfig
+	modelName := models.primary()
+	if *role != "coserve" {
+		if *modelFile != "" {
+			f, err := os.Open(*modelFile)
+			if err != nil {
+				fatal(err)
+			}
+			m, err = model.Load(f)
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			if m.Config.Name != modelName {
+				fatal(fmt.Errorf("model file holds %s, flag says %s", m.Config.Name, modelName))
+			}
+		}
+		cfg := model.ByName(modelName)
+		if m != nil {
+			cfg = m.Config
+		}
+		pooling := workload.EstimatePooling(workload.NewGenerator(cfg, 991), 200)
+		plan, err = buildPlan(&cfg, *strategy, *shards, pooling)
+		if err != nil {
+			fatal(err)
+		}
+		if m == nil {
+			m = model.Build(cfg)
+		}
+		tier, err = buildTier(&cfg, *cacheMB, *coldPrec, *errBudget)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	// The registry only pays for itself when something reads it; with no
@@ -164,6 +185,24 @@ func main() {
 			tracer:         tracer,
 		}
 		srv, shutdown, err = serveMain(m, plan, *listen, *peers, *netDelay, opts)
+	case "coserve":
+		defaults := tenantFlagSpec{
+			sla: *slaBudget, queue: *maxQueue,
+			batchWait: *batchWait, batchReqs: *batchReqs,
+			shards: *shards, strategy: *strategy,
+		}
+		var fl *cluster.Fleet
+		fl, err = serveCoserve([]string(models), defaults, coserveOptions{
+			listen: *listen, capacity: *capacity, every: *elasticEvery,
+			hedge: *hedge, healthFails: *healthFails, healthProbe: *healthProbe,
+			maxInFlight: *maxInFly, obs: reg,
+		})
+		if err == nil {
+			shutdown = fl.Close
+			if scaleModel != "" {
+				go forceScaleAfter(fl, scaleModel, scaleTo, *scaleAfter)
+			}
+		}
 	default:
 		err = fmt.Errorf("unknown role %q", *role)
 	}
@@ -173,7 +212,9 @@ func main() {
 	if *metricsAddr != "" {
 		bound, stopHTTP, merr := obs.Serve(*metricsAddr, reg, tracer)
 		if merr != nil {
-			srv.Close()
+			if srv != nil {
+				srv.Close()
+			}
 			shutdown()
 			fatal(merr)
 		}
@@ -186,16 +227,21 @@ func main() {
 		prev := shutdown
 		shutdown = func() { stopLog(); prev() }
 	}
-	if *shardFile != "" {
+	switch {
+	case *role == "coserve":
+		// serveCoserve already printed the fleet banner.
+	case *shardFile != "":
 		fmt.Printf("drmserve: sparse shard (from %s) on %s\n", *shardFile, srv.Addr())
-	} else {
-		fmt.Printf("drmserve: %s shard serving %s (%s) on %s\n", *role, *modelName, plan.Name(), srv.Addr())
+	default:
+		fmt.Printf("drmserve: %s shard serving %s (%s) on %s\n", *role, modelName, plan.Name(), srv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	srv.Close()
+	if srv != nil {
+		srv.Close()
+	}
 	shutdown()
 }
 

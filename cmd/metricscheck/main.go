@@ -6,8 +6,15 @@
 // -metrics-addr and runs this against it, so a schema drift in the obs
 // exporter fails the build rather than a downstream dashboard.
 //
+// -require takes comma-separated requirements; each is a metric name
+// (counter, gauge, or histogram) that must be present, optionally with
+// a ">=N" floor on its value (histograms compare their observation
+// count). Labeled metrics are plain names here — commas inside {...}
+// label sets do not split:
+//
 //	metricscheck http://127.0.0.1:9100
 //	metricscheck -require engine.requests http://127.0.0.1:9100
+//	metricscheck -require 'frontend.completed{model=drm1a}>=100,coserve.moves>=1' http://127.0.0.1:9100
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 )
@@ -42,7 +50,7 @@ type doc struct {
 
 func main() {
 	var (
-		require = flag.String("require", "", "comma-separated metric names that must be present (counter, gauge, or histogram)")
+		require = flag.String("require", "", "comma-separated requirements: metric names that must be present, each optionally floored as name>=N")
 		timeout = flag.Duration("timeout", 10*time.Second, "fetch timeout")
 	)
 	flag.Parse()
@@ -75,9 +83,13 @@ func main() {
 	if err := validate(d); err != nil {
 		fatal(err)
 	}
-	for _, name := range splitNonEmpty(*require) {
-		if !present(d, name) {
-			fatal(fmt.Errorf("required metric %q absent from %s", name, url))
+	for _, spec := range splitRequirements(*require) {
+		req, err := parseRequirement(spec)
+		if err != nil {
+			fatal(err)
+		}
+		if err := req.check(d); err != nil {
+			fatal(fmt.Errorf("%w in %s", err, url))
 		}
 	}
 	fmt.Printf("metricscheck: ok: %d counters, %d gauges, %d histograms at %s\n",
@@ -112,24 +124,84 @@ func validate(d doc) error {
 	return nil
 }
 
-func present(d doc, name string) bool {
-	if _, ok := d.Counters[name]; ok {
-		return true
-	}
-	if _, ok := d.Gauges[name]; ok {
-		return true
-	}
-	_, ok := d.Histograms[name]
-	return ok
+// requirement is one -require entry: a metric that must be present,
+// optionally with a floor on its value.
+type requirement struct {
+	name   string
+	min    int64
+	hasMin bool
 }
 
-func splitNonEmpty(s string) []string {
+// parseRequirement parses "name" or "name>=N".
+func parseRequirement(s string) (requirement, error) {
+	name, val, floored := strings.Cut(s, ">=")
+	name = strings.TrimSpace(name)
+	if name == "" {
+		return requirement{}, fmt.Errorf("requirement %q has no metric name", s)
+	}
+	if !floored {
+		return requirement{name: name}, nil
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(val), 10, 64)
+	if err != nil {
+		return requirement{}, fmt.Errorf("requirement %q: bad floor %q", s, val)
+	}
+	return requirement{name: name, min: n, hasMin: true}, nil
+}
+
+// check enforces the requirement against the document.
+func (r requirement) check(d doc) error {
+	v, ok := value(d, r.name)
+	if !ok {
+		return fmt.Errorf("required metric %q absent", r.name)
+	}
+	if r.hasMin && v < r.min {
+		return fmt.Errorf("required metric %q = %d, want >= %d", r.name, v, r.min)
+	}
+	return nil
+}
+
+// value looks name up across the three metric families, reducing a
+// histogram to its observation count.
+func value(d doc, name string) (int64, bool) {
+	if v, ok := d.Counters[name]; ok {
+		return v, true
+	}
+	if v, ok := d.Gauges[name]; ok {
+		return v, true
+	}
+	if h, ok := d.Histograms[name]; ok {
+		return h.Count, true
+	}
+	return 0, false
+}
+
+// splitRequirements splits the -require flag on commas at brace depth
+// zero, so multi-label metric names like name{a=1,b=2} stay whole.
+func splitRequirements(s string) []string {
 	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
+	depth, start := 0, 0
+	flush := func(end int) {
+		if p := strings.TrimSpace(s[start:end]); p != "" {
 			out = append(out, p)
 		}
+		start = end + 1
 	}
+	for i, c := range s {
+		switch c {
+		case '{':
+			depth++
+		case '}':
+			if depth > 0 {
+				depth--
+			}
+		case ',':
+			if depth == 0 {
+				flush(i)
+			}
+		}
+	}
+	flush(len(s))
 	return out
 }
 

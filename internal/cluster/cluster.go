@@ -47,6 +47,13 @@ type Options struct {
 	// servers (default 1). Sparse shards are stateless, so replicas share
 	// one table store and one recorder.
 	SparseReplicas int
+	// ActiveReplicas, with SparseReplicas > 1, boots only the first N
+	// replica slots of every shard serving; the rest boot parked — no
+	// server, an unresponsive slot, and disabled in the hedged rotation —
+	// as reclaimable headroom the elastic scheduler can activate later
+	// via SetActiveReplicas (a snapshot rebuild from a healthy peer). 0
+	// boots every slot serving.
+	ActiveReplicas int
 	// HedgeDelay, with SparseReplicas > 1, hedges sparse RPCs against a
 	// replica once the primary has been outstanding this long.
 	HedgeDelay time.Duration
@@ -131,6 +138,9 @@ type Cluster struct {
 
 	plat platform.Platform
 	opts Options
+	// active is how many replica slots per shard currently serve (the
+	// rest are parked). Guarded by replicaMu.
+	active int
 
 	// replicaMu serializes failure injection and recovery against each
 	// other and against Close.
@@ -163,6 +173,13 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	if replicas < 1 {
 		replicas = 1
 	}
+	active := opts.ActiveReplicas
+	if active == 0 {
+		active = replicas
+	}
+	if active < 1 || active > replicas {
+		return nil, fmt.Errorf("cluster: ActiveReplicas %d out of range [1,%d]", opts.ActiveReplicas, replicas)
+	}
 	if opts.HealthFails > 0 && opts.HedgeDelay <= 0 {
 		// Slow-strike detection hangs off the hedge timer: without it a
 		// silent replica produces no signal to count, and the breaker's
@@ -180,6 +197,7 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 		Hedged:      make(map[string]*replication.Hedged),
 		plat:        plat,
 		opts:        opts,
+		active:      active,
 	}
 	c.Obs = opts.Obs
 	if c.Obs == nil {
@@ -245,10 +263,18 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 					shard: i, idx: r, store: sh, rec: recs[i],
 					profile: plat.Network(opts.Seed + int64(i)*7919 + int64(r)*104729),
 				}
-				if err := c.startReplica(rep); err != nil {
-					return nil, err
+				if r < active {
+					if err := c.startReplica(rep); err != nil {
+						return nil, err
+					}
+					rep.slot = replication.NewSlot(rep.client)
+				} else {
+					// Parked headroom: no server runs and the slot goes
+					// unresponsive; the replica index is also disabled in
+					// the hedged rotation below, so nothing routes here
+					// until SetActiveReplicas activates it.
+					rep.slot = replication.NewSlot(replication.Unresponsive())
 				}
-				rep.slot = replication.NewSlot(rep.client)
 				c.replicas[i] = append(c.replicas[i], rep)
 				if r == 0 {
 					c.Registry.Register(sh.ShardName, rep.srv.Addr())
@@ -272,6 +298,9 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 			h, err := replication.NewHedged(callers, opts.HedgeDelay)
 			if err != nil {
 				return nil, err
+			}
+			for r := active; r < replicas; r++ {
+				h.SetEnabled(r, false)
 			}
 			if opts.HealthFails > 0 {
 				h.Health = replication.NewHealthTracker(len(callers), replication.HealthConfig{

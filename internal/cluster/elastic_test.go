@@ -1,0 +1,197 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// hot/cold/warm are canonical loads for the planner tables.
+func load(name string, active int, mut ...func(*cluster.TenantLoad)) cluster.TenantLoad {
+	l := cluster.TenantLoad{Name: name, Active: active, Min: 1, Max: 4, UnitWeight: 1}
+	for _, m := range mut {
+		m(&l)
+	}
+	return l
+}
+
+func hot(l *cluster.TenantLoad)  { l.BusyFrac = 0.95 }
+func cold(l *cluster.TenantLoad) { l.BusyFrac = 0.05 }
+func warm(l *cluster.TenantLoad) { l.BusyFrac = 0.5 }
+
+// TestPlanElasticTable pins the decision function: hysteresis bounds,
+// budget exhaustion, pairing, floors, caps, cooldowns, health gating.
+func TestPlanElasticTable(t *testing.T) {
+	cases := []struct {
+		name  string
+		loads []cluster.TenantLoad
+		free  float64
+		cfg   cluster.ElasticConfig
+		want  []cluster.Move // compared on Model/From/To only
+	}{
+		{
+			name:  "hot tenant grows from free pool",
+			loads: []cluster.TenantLoad{load("a", 1, hot), load("b", 1, warm)},
+			free:  1,
+			want:  []cluster.Move{{Model: "a", From: 1, To: 2}},
+		},
+		{
+			name:  "dead band holds: warm tenants make no moves",
+			loads: []cluster.TenantLoad{load("a", 2, warm), load("b", 2, warm)},
+			free:  2,
+			want:  nil,
+		},
+		{
+			name:  "queue occupancy alone can claim",
+			loads: []cluster.TenantLoad{load("a", 1, func(l *cluster.TenantLoad) { l.QueueFrac = 0.9 })},
+			free:  1,
+			want:  []cluster.Move{{Model: "a", From: 1, To: 2}},
+		},
+		{
+			name: "sheds pin pressure to one",
+			loads: []cluster.TenantLoad{
+				load("a", 1, cold, func(l *cluster.TenantLoad) { l.ShedDelta = 3 }),
+			},
+			free: 1,
+			want: []cluster.Move{{Model: "a", From: 1, To: 2}},
+		},
+		{
+			name:  "empty pool pairs claimant with coldest donor",
+			loads: []cluster.TenantLoad{load("a", 1, hot), load("b", 2, cold)},
+			free:  0,
+			cfg:   cluster.ElasticConfig{MoveBudget: 2},
+			want:  []cluster.Move{{Model: "b", From: 2, To: 1}, {Model: "a", From: 1, To: 2}},
+		},
+		{
+			name:  "budget one cannot afford a paired reallocation",
+			loads: []cluster.TenantLoad{load("a", 1, hot), load("b", 2, cold)},
+			free:  0,
+			cfg:   cluster.ElasticConfig{MoveBudget: 1},
+			// The claim is unaffordable this pass; the leftover budget
+			// still reclaims the idle donor into the pool, so the next
+			// pass can grant the claim for one move.
+			want: []cluster.Move{{Model: "b", From: 2, To: 1}},
+		},
+		{
+			name: "budget exhaustion grants hottest claimants first",
+			loads: []cluster.TenantLoad{
+				load("a", 1, func(l *cluster.TenantLoad) { l.BusyFrac = 0.85 }),
+				load("b", 1, func(l *cluster.TenantLoad) { l.BusyFrac = 0.95 }),
+				load("c", 1, func(l *cluster.TenantLoad) { l.BusyFrac = 0.90 }),
+			},
+			free: 3,
+			cfg:  cluster.ElasticConfig{MoveBudget: 2},
+			want: []cluster.Move{{Model: "b", From: 1, To: 2}, {Model: "c", From: 1, To: 2}},
+		},
+		{
+			name:  "never below one serving replica",
+			loads: []cluster.TenantLoad{load("a", 1, hot), load("b", 1, cold)},
+			free:  0,
+			cfg:   cluster.ElasticConfig{MoveBudget: 4},
+			want:  nil,
+		},
+		{
+			name: "min floor blocks donation",
+			loads: []cluster.TenantLoad{
+				load("a", 1, hot),
+				load("b", 2, cold, func(l *cluster.TenantLoad) { l.Min = 2 }),
+			},
+			free: 0,
+			cfg:  cluster.ElasticConfig{MoveBudget: 4},
+			want: nil,
+		},
+		{
+			name: "max cap blocks the claim",
+			loads: []cluster.TenantLoad{
+				load("a", 2, hot, func(l *cluster.TenantLoad) { l.Max = 2 }),
+			},
+			free: 2,
+			want: nil,
+		},
+		{
+			name: "cooldown freezes both sides",
+			loads: []cluster.TenantLoad{
+				load("a", 1, hot, func(l *cluster.TenantLoad) { l.Cooldown = 1 }),
+				load("b", 2, cold, func(l *cluster.TenantLoad) { l.Cooldown = 2 }),
+			},
+			free: 1,
+			cfg:  cluster.ElasticConfig{MoveBudget: 4},
+			want: nil,
+		},
+		{
+			name: "no healthy replica means no rebuild seed, no grow",
+			loads: []cluster.TenantLoad{
+				load("a", 1, hot, func(l *cluster.TenantLoad) { l.Unhealthy = 1 }),
+			},
+			free: 1,
+			want: nil,
+		},
+		{
+			name:  "idle reclaim returns excess to the pool",
+			loads: []cluster.TenantLoad{load("a", 3, cold), load("b", 1, warm)},
+			free:  0,
+			want:  []cluster.Move{{Model: "a", From: 3, To: 2}},
+		},
+		{
+			name: "heavy claimant needs two light donors",
+			loads: []cluster.TenantLoad{
+				load("a", 1, hot, func(l *cluster.TenantLoad) { l.UnitWeight = 2 }),
+				load("b", 2, cold),
+				load("c", 2, cold),
+			},
+			free: 0,
+			cfg:  cluster.ElasticConfig{MoveBudget: 3},
+			want: []cluster.Move{
+				{Model: "b", From: 2, To: 1},
+				{Model: "c", From: 2, To: 1},
+				{Model: "a", From: 1, To: 2},
+			},
+		},
+		{
+			name: "heavy claimant starves on budget two, donors untouched",
+			loads: []cluster.TenantLoad{
+				load("a", 1, hot, func(l *cluster.TenantLoad) { l.UnitWeight = 2 }),
+				load("b", 2, cold),
+				load("c", 2, warm),
+			},
+			free: 0,
+			cfg:  cluster.ElasticConfig{MoveBudget: 2},
+			// The claim is unaffordable (needs two moves of shrink plus
+			// one grow); leftover budget still reclaims the idle donor.
+			want: []cluster.Move{{Model: "b", From: 2, To: 1}},
+		},
+		{
+			name:  "one step per tenant per pass",
+			loads: []cluster.TenantLoad{load("a", 1, hot)},
+			free:  4,
+			cfg:   cluster.ElasticConfig{MoveBudget: 4},
+			want:  []cluster.Move{{Model: "a", From: 1, To: 2}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := cluster.PlanElastic(tc.loads, tc.free, tc.cfg)
+			if len(got) != len(tc.want) {
+				t.Fatalf("PlanElastic = %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i].Model != tc.want[i].Model || got[i].From != tc.want[i].From || got[i].To != tc.want[i].To {
+					t.Errorf("move %d = %v, want %+v", i, got[i], tc.want[i])
+				}
+				if got[i].Reason == "" {
+					t.Errorf("move %d carries no reason", i)
+				}
+			}
+		})
+	}
+}
+
+// TestPressure pins the demand scalar.
+func TestPressure(t *testing.T) {
+	if p := cluster.Pressure(cluster.TenantLoad{QueueFrac: 0.3, BusyFrac: 0.6}); p != 0.6 {
+		t.Errorf("Pressure = %v, want 0.6 (max of queue and busy)", p)
+	}
+	if p := cluster.Pressure(cluster.TenantLoad{QueueFrac: 0.1, ShedDelta: 1}); p != 1 {
+		t.Errorf("Pressure with sheds = %v, want 1", p)
+	}
+}

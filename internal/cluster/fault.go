@@ -105,6 +105,24 @@ func (c *Cluster) ReplaceReplica(shard, idx int) (core.RebuildStats, error) {
 	if rep.srv != nil {
 		return st, fmt.Errorf("cluster: %s replica %d is alive; kill it first", core.ServiceName(shard+1), idx)
 	}
+	st, err = c.rebuildFromPeer(rep, shard)
+	if err != nil {
+		return st, err
+	}
+	if err := c.startReplica(rep); err != nil {
+		return st, err
+	}
+	rep.slot.Swap(rep.client)
+	c.refreshRegistry(shard)
+	return st, nil
+}
+
+// rebuildFromPeer streams a fresh, private table store for rep from a
+// live peer replica of the same shard over the snapshot protocol and
+// installs it as rep's store (tracked in c.rebuilt). The caller owns
+// starting a server over it. Caller holds rebalanceMu and replicaMu.
+func (c *Cluster) rebuildFromPeer(rep *sparseReplica, shard int) (core.RebuildStats, error) {
+	var st core.RebuildStats
 	var peer *sparseReplica
 	for _, p := range c.replicas[shard] {
 		if p != rep && p.srv != nil {
@@ -138,11 +156,6 @@ func (c *Cluster) ReplaceReplica(shard, idx int) (core.RebuildStats, error) {
 
 	rep.store = fresh
 	c.rebuilt = append(c.rebuilt, fresh)
-	if err := c.startReplica(rep); err != nil {
-		return st, err
-	}
-	rep.slot.Swap(rep.client)
-	c.refreshRegistry(shard)
 	return st, nil
 }
 

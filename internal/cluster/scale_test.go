@@ -1,0 +1,188 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/model"
+	"repro/internal/serve"
+	"repro/internal/sharding"
+	"repro/internal/workload"
+)
+
+// bootElastic boots a deployment with parked replica headroom: three
+// slots per shard, one serving.
+func bootElastic(t *testing.T, m *model.Model, cfg model.Config) (*cluster.Cluster, *serve.Replayer) {
+	t.Helper()
+	plan, err := sharding.CapacityBalanced(&cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := faultOptions()
+	opts.SparseReplicas = 3
+	opts.ActiveReplicas = 1
+	cl, err := cluster.Boot(m, plan, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := cl.DialMain()
+	if err != nil {
+		cl.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return cl, serve.NewReplayer(client)
+}
+
+// TestSetActiveReplicasRoundTrip grows a parked fleet to full strength
+// and shrinks it back, checking byte-identical scores throughout, real
+// snapshot rebuilds on the way up, and store reclamation on the way
+// down.
+func TestSetActiveReplicasRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := smallModel()
+	m := model.Build(cfg)
+	stream := workload.NewGenerator(cfg, 17).GenerateBatch(12)
+
+	control, controlRep := bootFault(t, m, cfg)
+	defer control.Close()
+	want, res := controlRep.RunSerialScored(stream)
+	if res.Failed() > 0 {
+		t.Fatal(res.Errors[0])
+	}
+
+	cl, rep := bootElastic(t, m, cfg)
+	defer cl.Close()
+	if got := cl.ActiveReplicas(); got != 1 {
+		t.Fatalf("ActiveReplicas at boot = %d, want 1", got)
+	}
+	if got := cl.ReplicaSlots(); got != 3 {
+		t.Fatalf("ReplicaSlots = %d, want 3", got)
+	}
+	serveAll := func(phase string) {
+		t.Helper()
+		for i, req := range stream {
+			got, _, err := rep.Send(req)
+			if err != nil {
+				t.Fatalf("%s request %d: %v", phase, i, err)
+			}
+			requireSameScores(t, want[i], got, phase, i)
+		}
+	}
+	serveAll("parked")
+
+	// Grow 1 → 3: each activation must stream a real snapshot per shard
+	// and serve from a private store.
+	stats, err := cl.SetActiveReplicas(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 { // 2 new slots × 2 shards
+		t.Fatalf("got %d rebuild stats, want 4", len(stats))
+	}
+	for i, st := range stats {
+		if st.Tables == 0 || st.Bytes == 0 {
+			t.Fatalf("activation rebuild %d streamed nothing: %+v", i, st)
+		}
+	}
+	if got := cl.ActiveReplicas(); got != 3 {
+		t.Fatalf("ActiveReplicas after grow = %d, want 3", got)
+	}
+	for shard := 0; shard < 2; shard++ {
+		for idx := 1; idx < 3; idx++ {
+			store, err := cl.ReplicaStore(shard, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if store == cl.Shards()[shard] {
+				t.Fatalf("activated shard %d replica %d still serves the shared store", shard, idx)
+			}
+			if store.Bytes() != cl.Shards()[shard].Bytes() {
+				t.Fatalf("shard %d replica %d rebuilt %d bytes, peer has %d",
+					shard, idx, store.Bytes(), cl.Shards()[shard].Bytes())
+			}
+		}
+	}
+	serveAll("grown")
+
+	// Shrink 3 → 1: trailing replicas drain, their servers close, and
+	// the private stores are reclaimed.
+	if stats, err := cl.SetActiveReplicas(1); err != nil {
+		t.Fatal(err)
+	} else if len(stats) != 0 {
+		t.Fatalf("shrink returned rebuild stats: %+v", stats)
+	}
+	if got := cl.ActiveReplicas(); got != 1 {
+		t.Fatalf("ActiveReplicas after shrink = %d, want 1", got)
+	}
+	for shard := 0; shard < 2; shard++ {
+		for idx := 1; idx < 3; idx++ {
+			store, err := cl.ReplicaStore(shard, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if store != cl.Shards()[shard] {
+				t.Fatalf("parked shard %d replica %d still owns a private store", shard, idx)
+			}
+		}
+	}
+	serveAll("shrunk")
+
+	// Re-grow after a shrink: parked slots must be reusable.
+	if _, err := cl.SetActiveReplicas(2); err != nil {
+		t.Fatal(err)
+	}
+	serveAll("regrown")
+}
+
+// TestSetActiveReplicasGuards pins the bounds: never below one serving
+// replica, never past the booted slot count, no-op on the current size,
+// and out-of-range boot configs rejected.
+func TestSetActiveReplicasGuards(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	cfg := smallModel()
+	m := model.Build(cfg)
+
+	plan, err := sharding.CapacityBalanced(&cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	badOpts := faultOptions()
+	badOpts.SparseReplicas = 2
+	badOpts.ActiveReplicas = 3
+	if _, err := cluster.Boot(m, plan, badOpts); err == nil {
+		t.Error("ActiveReplicas > SparseReplicas must be rejected at boot")
+	}
+
+	cl, rep := bootElastic(t, m, cfg)
+	defer cl.Close()
+	if _, err := cl.SetActiveReplicas(0); err == nil {
+		t.Error("scaling to zero replicas must error")
+	}
+	if _, err := cl.SetActiveReplicas(4); err == nil {
+		t.Error("scaling past the booted slot count must error")
+	}
+	if stats, err := cl.SetActiveReplicas(1); err != nil || stats != nil {
+		t.Errorf("no-op resize = (%v, %v), want (nil, nil)", stats, err)
+	}
+
+	// Parked slots are invisible to health tracking: no probes are spent
+	// on them, so the snapshot books no activity at the parked indices.
+	// (That parked replicas never serve or hedge is pinned by the
+	// rotation tests in internal/replication.)
+	if res := rep.RunSerial(workload.NewGenerator(cfg, 3).GenerateBatch(4)); res.Failed() > 0 {
+		t.Fatal(res.Errors[0])
+	}
+	for _, snap := range cl.HealthSnapshots() {
+		for idx := 1; idx < 3; idx++ {
+			r := snap.Replicas[idx]
+			if r.Probes != 0 || r.Successes != 0 || r.Failures != 0 {
+				t.Errorf("parked replica %d saw traffic: %+v", idx, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,329 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/frontend"
+	"repro/internal/model"
+	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/sharding"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// CoServe evaluates multi-model co-serving: two DRM1 tenant copies
+// share one fleet of six server units (three replica steps of a
+// two-shard plan) through a single front door, and traffic reverses
+// between two phases — tenant A hot then tenant B hot, each hot rate
+// sized at ~1.4x what one replica step sustains and ~0.7x what two do.
+// Three deployments spend the identical hardware: a static split
+// favoring A (2+1 steps), a static split favoring B (1+2), and an
+// elastic fleet that starts balanced (1+1 plus a free step) and lets
+// the capacity planner move steps as phases shift — scale-up streams a
+// snapshot rebuild into a parked slot, scale-down drains and returns
+// the servers. A static fleet must pick a winner, so whichever tenant
+// it shorts blows its SLA in the phase where that tenant is hot; the
+// elastic fleet re-allocates and meets every per-model SLA. Every
+// scored response in every deployment is compared bitwise against a
+// dedicated single-tenant control: consolidation and live reallocation
+// may change latency, never scores.
+func (r *Runner) CoServe(w io.Writer) error {
+	writeHeader(w, "Multi-model co-serving: elastic vs static at equal hardware (2x DRM1 tenants, 6 units)")
+	m := r.Model("DRM1")
+	cfg := m.Config
+	basePlan, err := sharding.LoadBalanced(&cfg, 2, r.Pooling("DRM1"))
+	if err != nil {
+		return err
+	}
+
+	n := r.P.Requests
+	genA := workload.NewGenerator(cfg, r.P.Seed+11)
+	genB := workload.NewGenerator(cfg, r.P.Seed+13)
+	warm := genA.GenerateBatch(r.P.Warmup)
+	streamA := genA.GenerateBatch(n)
+	streamB := genB.GenerateBatch(n)
+
+	// Dedicated control: one single-tenant cluster replays both scored
+	// streams — the identity baseline for every deployment, and the
+	// latency calibration for the shared SLA budget.
+	wantA, wantB, budget, p50, err := r.coserveControl(m, basePlan, warm, streamA, streamB)
+	if err != nil {
+		return fmt.Errorf("coserve control: %w", err)
+	}
+	sla := serve.SLA{Budget: budget, TargetQuantile: 0.9}
+
+	// Calibrate the phase rates from the drain gate's capacity model: a
+	// tenant holding two of the three replica steps owns 4/6 units of
+	// execution credit, so it sustains (2/3)/p50 req/s; the hot rate is
+	// 0.7x that — 1.4x what a single step's entitlement drains, while
+	// fitting two steps with room. The cold tenant idles at a trickle.
+	c2 := (2.0 / 3.0) / p50.Seconds()
+	hotQPS, coldQPS := 0.7*c2, 0.06*c2
+	if coldQPS < 4 {
+		coldQPS = 4
+	}
+
+	type deployment struct {
+		name             string
+		initialA, slotsA int
+		initialB, slotsB int
+		elastic          bool
+	}
+	deployments := []deployment{
+		// Calibration runs against static-A's two-step tenant, so it boots first.
+		{name: "static-A", initialA: 2, slotsA: 2, initialB: 1, slotsB: 1},
+		{name: "static-B", initialA: 1, slotsA: 1, initialB: 2, slotsB: 2},
+		{name: "elastic", initialA: 1, slotsA: 2, initialB: 1, slotsB: 2, elastic: true},
+	}
+
+	fmt.Fprintf(w, "per-tenant SLA: p90 within %s (calibrated at the dedicated control); hardware fixed at 6 units everywhere\n", fmtMS(budget))
+	fmt.Fprintf(w, "calibration: control p50 %s -> two replica steps sustain %.0f req/s -> hot %.0f q/s, cold %.0f q/s\n\n", fmtMS(p50), c2, hotQPS, coldQPS)
+	fmt.Fprintf(w, "%-9s %-7s %-7s %-6s %-6s %-7s %-7s %-9s %-10s %s\n",
+		"deploy", "phase", "tenant", "steps", "sent", "shed%", "late%", "p90", "SLA", "identity")
+
+	elasticMet, allIdentical := true, true
+	staticViolated := map[string]bool{}
+	var elasticTimeline []cluster.MoveEvent
+	var elasticStart time.Time
+
+	for _, d := range deployments {
+		fl, err := cluster.BootFleet([]cluster.TenantSpec{
+			{
+				Name: "drm1a", Model: m, Plan: clonePlan(basePlan),
+				Frontend:        frontend.Config{Budget: budget, MaxQueue: 256},
+				InitialReplicas: d.initialA, SlotReplicas: d.slotsA, MaxReplicas: 2,
+			},
+			{
+				Name: "drm1b", Model: m, Plan: clonePlan(basePlan),
+				Frontend:        frontend.Config{Budget: budget, MaxQueue: 256},
+				InitialReplicas: d.initialB, SlotReplicas: d.slotsB, MaxReplicas: 2,
+			},
+		}, cluster.FleetOptions{
+			Capacity:   6,
+			Seed:       r.P.Seed,
+			HedgeDelay: 25 * time.Millisecond,
+			Obs:        obs.NewRegistry(),
+		})
+		if err != nil {
+			return fmt.Errorf("coserve %s: boot: %w", d.name, err)
+		}
+		bootT := time.Now()
+		reps := map[string]*serve.Replayer{}
+		for _, tenant := range []string{"drm1a", "drm1b"} {
+			client, err := fl.DialFront()
+			if err != nil {
+				fl.Close()
+				return err
+			}
+			defer client.Close()
+			reps[tenant] = serve.NewReplayerFor(client, tenant)
+			if res := reps[tenant].RunSerial(warm); res.Failed() > 0 {
+				fl.Close()
+				return fmt.Errorf("coserve %s: %s warmup: %w", d.name, tenant, res.Errors[0])
+			}
+		}
+
+		for phase, hot := range []string{"drm1a", "drm1b"} {
+			cold := "drm1b"
+			if hot == "drm1b" {
+				cold = "drm1a"
+			}
+			if d.elastic {
+				// Flush the planner's shed/busy cursors of the previous
+				// phase, then drive bursts until it has re-homed capacity
+				// onto the newly hot tenant.
+				fl.Step()
+				if err := r.coservePressure(fl, reps[hot], genA, hot, hotQPS); err != nil {
+					fl.Close()
+					return fmt.Errorf("coserve elastic phase %d: %w", phase+1, err)
+				}
+			}
+			// Settle before measuring. Each fleet carries ~800MB of
+			// embedding tables and a scale-up copies another replica
+			// step's worth, so collect that garbage at the boundary
+			// rather than mid-flood, where a GC stretch reads as
+			// serving-path latency; then the paced settle rounds reset
+			// the admission estimator's median and the drain gate's
+			// debt, so the measured flood sees only this phase's
+			// contention.
+			runtime.GC()
+			if !coserveSettle(reps["drm1a"], reps["drm1b"], genA, genB, p50) {
+				fmt.Fprintf(w, "# %s phase %d: settle never certified clean; measurements may carry overload hangover\n", d.name, phase+1)
+			}
+
+			hotRes, coldRes := r.coserveFlood(reps[hot], reps[cold], genA, genB, hotQPS, coldQPS)
+			for _, cell := range []struct {
+				tenant string
+				res    *serve.Result
+			}{{hot, hotRes}, {cold, coldRes}} {
+				rep := sla.Evaluate(cell.res)
+				verdict := "MET"
+				if !rep.Met {
+					verdict = "VIOLATED"
+				}
+				want, stream := wantA, streamA
+				if cell.tenant == "drm1b" {
+					want, stream = wantB, streamB
+				}
+				served, mismatched := scoredIdentity(reps[cell.tenant], stream, want)
+				identity := fmt.Sprintf("%d/%d identical", served-mismatched, served)
+				if mismatched > 0 {
+					allIdentical = false
+					identity = "MISMATCH"
+				}
+				if d.elastic {
+					elasticMet = elasticMet && rep.Met
+				} else if !rep.Met {
+					staticViolated[d.name] = true
+				}
+				steps := fl.TenantCluster(cell.tenant).ActiveReplicas()
+				fmt.Fprintf(w, "%-9s %-7d %-7s %-6d %-6d %-7.1f %-7.1f %-9s %-10s %s\n",
+					d.name, phase+1, cell.tenant, steps, rep.Total,
+					100*rep.FallbackRate, 100*rep.LateRate,
+					fmtMS(rep.AchievedQuantileLatency), verdict, identity)
+			}
+		}
+		if d.elastic {
+			elasticTimeline, elasticStart = fl.Timeline(), bootT
+		}
+		fl.Close()
+		runtime.GC() // reclaim this fleet's tables before the next boots
+	}
+
+	fmt.Fprintf(w, "\nreallocation timeline (elastic):\n")
+	for _, ev := range elasticTimeline {
+		fmt.Fprintf(w, "  +%-8s %s %d->%d  %-34s rebuild %6.1f KiB in %s\n",
+			ev.At.Sub(elasticStart).Round(time.Millisecond), ev.Model, ev.From, ev.To,
+			"("+ev.Reason+")", float64(ev.RebuildBytes)/1024, ev.Took.Round(time.Millisecond))
+	}
+	fmt.Fprintf(w, "\nelastic met every per-model SLA: %v; static-A violated an SLA: %v; static-B violated an SLA: %v\n",
+		elasticMet, staticViolated["static-A"], staticViolated["static-B"])
+	fmt.Fprintf(w, "all scored responses byte-identical to dedicated controls: %v\n", allIdentical)
+	fmt.Fprintln(w, "\nReading: six units cannot statically satisfy both phases — whichever\ntenant the split shorts is pinned at one replica step of entitlement\nwhile its load wants two, and its shed rate blows the SLA allowance.\nThe elastic fleet watches queue occupancy, executor busy time, and\nsheds; when the phases flip it reclaims the idle tenant's step and\nstreams the hot tenant's tables into a parked slot from a healthy\npeer. Capacity follows the load, every SLA holds, and scores stay\nbitwise identical to dedicated fleets throughout.")
+	return nil
+}
+
+// coserveControl replays both tenants' scored streams against one
+// dedicated single-tenant cluster: the byte-identity baselines, plus a
+// latency sample that calibrates the shared SLA budget (generous over
+// the un-contended p50, so only queueing from under-entitlement — not
+// host noise — can violate it) and the p50 itself, which anchors the
+// phase-rate calibration.
+func (r *Runner) coserveControl(m *model.Model, plan *sharding.Plan, warm, streamA, streamB []*workload.Request) ([][]float32, [][]float32, time.Duration, time.Duration, error) {
+	cl, err := cluster.Boot(m, clonePlan(plan), cluster.Options{Seed: r.P.Seed})
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	defer cl.Close()
+	client, err := cl.DialMain()
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	defer client.Close()
+	rep := serve.NewReplayer(client)
+	if res := rep.RunSerial(warm); res.Failed() > 0 {
+		return nil, nil, 0, 0, res.Errors[0]
+	}
+	wantA, resA := rep.RunSerialScored(streamA)
+	if resA.Failed() > 0 {
+		return nil, nil, 0, 0, resA.Errors[0]
+	}
+	wantB, resB := rep.RunSerialScored(streamB)
+	if resB.Failed() > 0 {
+		return nil, nil, 0, 0, resB.Errors[0]
+	}
+	sample := stats.NewDurationSample(append(append([]time.Duration(nil), resA.ClientE2E...), resB.ClientE2E...))
+	p50 := time.Duration(sample.P50() * float64(time.Second))
+	budget := 8 * p50
+	if floor := time.Duration(2.5 * sample.P99() * float64(time.Second)); budget < floor {
+		budget = floor
+	}
+	return wantA, wantB, budget, p50, nil
+}
+
+// coservePressure drives overload bursts at the hot tenant and runs
+// planner passes until the fleet has granted it a second replica step.
+func (r *Runner) coservePressure(fl *cluster.Fleet, hotRep *serve.Replayer, gen *workload.Generator, hot string, hotQPS float64) error {
+	deadline := time.Now().Add(20 * time.Second)
+	for fl.TenantCluster(hot).ActiveReplicas() < 2 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("planner never granted %s a second step: timeline %+v", hot, fl.Timeline())
+		}
+		burst := gen.GenerateBatch(int(hotQPS*0.4) + 8)
+		hotRep.RunOpenLoop(burst, hotQPS)
+		fl.Step()
+	}
+	return nil
+}
+
+// coserveSettle drains overload hangover before a measured flood. The
+// pressure bursts and serial scored passes leave two kinds of state
+// behind: drain-gate debt (bounded at 4x the burst allowance, repaid
+// by the sleep at the slowest tenant's 1/3-share rate) and a
+// service-time median observed under contention. When that median
+// exceeds the whole budget the frontend sheds even empty-queue
+// requests, and only its 1-in-16 admission probes still execute — so
+// each paced round below submits enough requests to guarantee probes.
+// The loop exits once a full round runs shed-free on both tenants AND
+// at latencies near the dedicated control's p50: shed-free alone only
+// proves the median slipped under the budget, and a still-elevated
+// median resumes shedding as soon as the flood builds queue depth.
+func coserveSettle(repA, repB *serve.Replayer, genA, genB *workload.Generator, p50 time.Duration) bool {
+	clean := func(res *serve.Result) bool {
+		if res.Fallbacks > 0 || len(res.ClientE2E) == 0 {
+			return false
+		}
+		s := stats.NewDurationSample(res.ClientE2E)
+		return s.P50() <= 2.5*p50.Seconds()
+	}
+	time.Sleep(600 * time.Millisecond)
+	for round := 0; round < 12; round++ {
+		var resB *serve.Result
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			resB = repB.RunOpenLoop(genB.GenerateBatch(18), 16)
+		}()
+		resA := repA.RunOpenLoop(genA.GenerateBatch(18), 16)
+		<-done
+		if clean(resA) && clean(resB) {
+			return true
+		}
+	}
+	return false
+}
+
+// coserveFlood runs one phase's measured traffic: the hot tenant at
+// hotQPS and the cold tenant's trickle concurrently, ~2s each.
+func (r *Runner) coserveFlood(hotRep, coldRep *serve.Replayer, hotGen, coldGen *workload.Generator, hotQPS, coldQPS float64) (*serve.Result, *serve.Result) {
+	hotReqs := hotGen.GenerateBatch(int(2*hotQPS) + 8)
+	coldReqs := coldGen.GenerateBatch(int(2*coldQPS) + 4)
+	done := make(chan *serve.Result, 1)
+	go func() { done <- coldRep.RunOpenLoop(coldReqs, coldQPS) }()
+	hotRes := hotRep.RunOpenLoop(hotReqs, hotQPS)
+	return hotRes, <-done
+}
+
+// scoredIdentity replays a scored stream serially and compares every
+// served response bitwise against the control's scores. Shed requests
+// are tolerated (they received the fallback, not wrong scores); served
+// and mismatched counts come back for reporting.
+func scoredIdentity(rep *serve.Replayer, stream []*workload.Request, want [][]float32) (served, mismatched int) {
+	scores, _ := rep.RunSerialScored(stream)
+	for i, s := range scores {
+		if s == nil {
+			continue
+		}
+		served++
+		if !bytes.Equal(float32Bytes(s), float32Bytes(want[i])) {
+			mismatched++
+		}
+	}
+	return served, mismatched
+}

@@ -42,6 +42,7 @@ func All() []Experiment {
 		{"tiered", "Tiered embedding storage (cache × precision × skew)", func(r *Runner, w io.Writer) error { return r.Tiered(w) }},
 		{"dense", "Dense engine (batch × parallelism × MLP shape, GEMM GFLOP/s + e2e)", func(r *Runner, w io.Writer) error { return r.Dense(w) }},
 		{"fault", "Fault tolerance (replica kills × count × hedge delay, SLA + rebuild)", func(r *Runner, w io.Writer) error { return r.Fault(w) }},
+		{"coserve", "Multi-model co-serving (elastic vs static capacity at equal hardware)", func(r *Runner, w io.Writer) error { return r.CoServe(w) }},
 	}
 }
 

@@ -84,6 +84,17 @@ func (f *Frontend) run() {
 // gather window have consumed budget since Submit), sheds the hopeless
 // ones, and runs the survivors as one coalesced execution.
 func (f *Frontend) dispatch(batch []*pending, items int) {
+	// In a co-served deployment, wait out the tenant's drain-gate
+	// entitlement before anything else: the wait consumes the batch's SLA
+	// budget, so the deadline re-check below must run after it, and the
+	// estimator observation must include it (admission then prices the
+	// tenant's real, entitlement-limited service rate — the feedback that
+	// makes an over-allocated backlog shed instead of queue unboundedly).
+	dispatchStart := time.Now()
+	if f.cfg.gate != nil {
+		f.cfg.gate.wait(f.cfg.tenant)
+		f.met.gateWaitNs.Observe(int64(time.Since(dispatchStart)))
+	}
 	now := time.Now()
 	for _, p := range batch {
 		f.met.queueWaitNs.Observe(int64(now.Sub(p.enq)))
@@ -122,8 +133,10 @@ func (f *Frontend) dispatch(batch []*pending, items int) {
 	start := time.Now()
 	outs, err := f.exec.ExecuteBatch(calls)
 	execDur := time.Since(start)
-	f.est.observe(execDur, items)
+	f.cfg.gate.charge(f.cfg.tenant, execDur)
+	f.est.observe(time.Since(dispatchStart), items)
 
+	f.stats.execBusyNs.Add(uint64(execDur))
 	f.met.execNs.Observe(int64(execDur))
 	f.met.batchRequests.Observe(int64(len(keep)))
 	f.met.batchItems.Observe(int64(items))

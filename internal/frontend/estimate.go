@@ -71,6 +71,7 @@ type counters struct {
 	shedBudget      atomic.Uint64
 	shedDeadline    atomic.Uint64
 	probes          atomic.Uint64
+	execBusyNs      atomic.Uint64
 	maxBatch        atomicMax
 }
 
@@ -100,6 +101,10 @@ type Stats struct {
 	// Probes are over-budget requests admitted anyway to keep the
 	// service-time estimator learning.
 	Probes uint64
+	// ExecBusyNs is cumulative executor busy time (nanoseconds spent in
+	// ExecuteBatch) — the utilization signal the elastic scheduler turns
+	// into a busy fraction by differencing across its interval.
+	ExecBusyNs uint64
 }
 
 // Sheds is the total load shed across causes.
@@ -126,5 +131,6 @@ func (f *Frontend) Stats() Stats {
 		ShedBudget:       f.stats.shedBudget.Load(),
 		ShedDeadline:     f.stats.shedDeadline.Load(),
 		Probes:           f.stats.probes.Load(),
+		ExecBusyNs:       f.stats.execBusyNs.Load(),
 	}
 }

@@ -93,6 +93,12 @@ type Config struct {
 	// Tracer, when set, finishes each submitted request's live trace with
 	// its measured frontend latency; sheds finish as deadline misses.
 	Tracer *obs.Tracer
+
+	// gate/tenant wire a co-served frontend into its Multi's weighted
+	// drain (set by Multi.Add; a standalone frontend leaves them zero and
+	// dispatches unmetered).
+	gate   *drainGate
+	tenant string
 }
 
 func (c Config) withDefaults() Config {
@@ -154,6 +160,7 @@ type Frontend struct {
 type frontendMetrics struct {
 	queueWaitNs   *obs.Histogram // Submit enqueue → dispatch decision
 	gatherNs      *obs.Histogram // batch opener dequeued → dispatch
+	gateWaitNs    *obs.Histogram // drain-gate entitlement wait (co-serving)
 	execNs        *obs.Histogram // coalesced ExecuteBatch latency
 	batchRequests *obs.Histogram // requests per dispatched batch
 	batchItems    *obs.Histogram // items per dispatched batch
@@ -167,6 +174,7 @@ func New(exec Executor, cfg Config) *Frontend {
 	f.met = frontendMetrics{
 		queueWaitNs:   reg.Histogram("frontend.queue_wait_ns"),
 		gatherNs:      reg.Histogram("frontend.gather_ns"),
+		gateWaitNs:    reg.Histogram("frontend.gate_wait_ns"),
 		execNs:        reg.Histogram("frontend.exec_ns"),
 		batchRequests: reg.Histogram("frontend.batch_requests"),
 		batchItems:    reg.Histogram("frontend.batch_items"),
@@ -184,6 +192,7 @@ func New(exec Executor, cfg Config) *Frontend {
 		emit("frontend.shed_budget", int64(s.ShedBudget))
 		emit("frontend.shed_deadline", int64(s.ShedDeadline))
 		emit("frontend.probes", int64(s.Probes))
+		emit("frontend.exec_busy_ns", int64(s.ExecBusyNs))
 	})
 	f.wg.Add(1)
 	go f.run()
@@ -265,6 +274,10 @@ func (f *Frontend) Submit(ctx trace.Context, req *core.RankingRequest) ([]float3
 // QueueDepth reports how many requests are waiting for a batch — the
 // backpressure gauge operators (and tests) read.
 func (f *Frontend) QueueDepth() int { return len(f.queue) }
+
+// QueueCap reports the admission queue's bound after defaulting — the
+// denominator for queue-occupancy signals.
+func (f *Frontend) QueueCap() int { return f.cfg.MaxQueue }
 
 // meanRequestItems estimates items per queued request from history,
 // falling back to the current request's size before any batch ran.

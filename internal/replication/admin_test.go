@@ -1,0 +1,105 @@
+package replication
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/rpc"
+)
+
+func TestSetEnabledRoutesAroundDisabledPrimary(t *testing.T) {
+	primary := &fakeCaller{tag: 1}
+	replica := &fakeCaller{tag: 2}
+	h := hedged(t, 50*time.Millisecond, primary, replica)
+	h.SetEnabled(0, false)
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if err != nil || resp.Body[0] != 2 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if primary.calls.Load() != 0 {
+		t.Errorf("disabled primary took %d calls, want 0", primary.calls.Load())
+	}
+	if h.EnabledReplicas() != 1 {
+		t.Errorf("EnabledReplicas = %d, want 1", h.EnabledReplicas())
+	}
+}
+
+func TestSetEnabledExcludesHedgeAndFailover(t *testing.T) {
+	// Three replicas; 1 and 2 disabled. A slow primary must not hedge to
+	// a parked replica — the call waits on the primary instead.
+	primary := &fakeCaller{tag: 1, delay: 30 * time.Millisecond}
+	r1 := &fakeCaller{tag: 2}
+	r2 := &fakeCaller{tag: 3}
+	h := hedged(t, 2*time.Millisecond, primary, r1, r2)
+	h.SetEnabled(1, false)
+	h.SetEnabled(2, false)
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 7})
+	if err != nil || resp.Body[0] != 1 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if r1.calls.Load() != 0 || r2.calls.Load() != 0 {
+		t.Errorf("parked replicas took calls: %d/%d", r1.calls.Load(), r2.calls.Load())
+	}
+
+	// A failing primary must fail over only to the enabled replica.
+	fail := &fakeCaller{tag: 1, err: errors.New("down")}
+	ok := &fakeCaller{tag: 2}
+	parked := &fakeCaller{tag: 3}
+	h2 := hedged(t, time.Hour, fail, ok, parked)
+	h2.SetEnabled(2, false)
+	resp, err = h2.CallSync(&rpc.Request{Method: "m", CallID: 8})
+	if err != nil || resp.Body[0] != 2 {
+		t.Fatalf("failover resp = %+v, %v", resp, err)
+	}
+	if parked.calls.Load() != 0 {
+		t.Errorf("failover reached a parked replica (%d calls)", parked.calls.Load())
+	}
+}
+
+func TestSetEnabledReEnableRestoresRotation(t *testing.T) {
+	primary := &fakeCaller{tag: 1, delay: 30 * time.Millisecond}
+	replica := &fakeCaller{tag: 2}
+	h := hedged(t, 2*time.Millisecond, primary, replica)
+	h.SetEnabled(1, false)
+	h.SetEnabled(1, true)
+	resp, err := h.CallSync(&rpc.Request{Method: "m", CallID: 9})
+	if err != nil || resp.Body[0] != 2 {
+		t.Fatalf("resp = %+v, %v", resp, err)
+	}
+	if h.Hedges() != 1 {
+		t.Errorf("hedges = %d, want 1 after re-enable", h.Hedges())
+	}
+}
+
+func TestSetEnabledNeverGrantsProbesToParked(t *testing.T) {
+	// With health tracking on, a parked replica must not be offered
+	// probation probes: its slot is Unresponsive and each probe would
+	// burn a hedge delay.
+	primary := &fakeCaller{tag: 1}
+	parked := &fakeCaller{tag: 2}
+	h := hedged(t, 2*time.Millisecond, primary, parked)
+	h.Health = NewHealthTracker(2, HealthConfig{FailThreshold: 1, ProbeEvery: time.Nanosecond})
+	h.SetEnabled(1, false)
+	for i := 0; i < 20; i++ {
+		if _, err := h.CallSync(&rpc.Request{Method: "m", CallID: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if parked.calls.Load() != 0 {
+		t.Errorf("parked replica received %d probe calls, want 0", parked.calls.Load())
+	}
+}
+
+func TestSetEnabledOutOfRangeIgnored(t *testing.T) {
+	primary := &fakeCaller{tag: 1}
+	h := hedged(t, time.Millisecond, primary)
+	h.SetEnabled(-1, false)
+	h.SetEnabled(5, false)
+	if !h.Enabled(0) || h.EnabledReplicas() != 1 {
+		t.Errorf("out-of-range SetEnabled changed state: enabled=%d", h.EnabledReplicas())
+	}
+	if h.Enabled(-1) || h.Enabled(1) {
+		t.Error("Enabled out of range must be false")
+	}
+}

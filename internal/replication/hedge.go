@@ -46,6 +46,58 @@ type Hedged struct {
 	wins             atomic.Int64
 	failovers        atomic.Int64
 	failoverAttempts atomic.Int64
+
+	// disabled is a bitmask of administratively parked replicas (see
+	// SetEnabled). Unlike health ejection — a guess that a replica is
+	// sick, softened by probation probes and unfiltered-rotation
+	// fallbacks — a disabled replica is definitively out of service (no
+	// server, no table store), so every selection path skips it
+	// unconditionally and it is never offered a probe.
+	disabled atomic.Uint64
+}
+
+// maxReplicas bounds the replica set so the admin mask fits one word.
+const maxReplicas = 64
+
+// SetEnabled administratively adds or removes replica i from the
+// rotation. The elastic capacity scheduler parks replicas it has
+// reclaimed (and replicas that boot without a server) this way;
+// re-enabling happens only after a fresh store is rebuilt and a server
+// is serving again. Out-of-range indices are ignored.
+func (h *Hedged) SetEnabled(i int, on bool) {
+	if i < 0 || i >= len(h.Replicas) || i >= maxReplicas {
+		return
+	}
+	bit := uint64(1) << uint(i)
+	for {
+		cur := h.disabled.Load()
+		next := cur | bit
+		if on {
+			next = cur &^ bit
+		}
+		if cur == next || h.disabled.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// Enabled reports whether replica i is administratively in rotation.
+func (h *Hedged) Enabled(i int) bool {
+	if i < 0 || i >= len(h.Replicas) {
+		return false
+	}
+	return i >= maxReplicas || h.disabled.Load()&(1<<uint(i)) == 0
+}
+
+// EnabledReplicas counts replicas administratively in rotation.
+func (h *Hedged) EnabledReplicas() int {
+	n := 0
+	for i := range h.Replicas {
+		if h.Enabled(i) {
+			n++
+		}
+	}
+	return n
 }
 
 // NewHedged builds a hedged caller; it requires at least one replica.
@@ -96,19 +148,31 @@ func (h *Hedged) Go(req *rpc.Request) *rpc.Call {
 	return out
 }
 
-// pickPrimary returns the first in-rotation replica, preferring the
-// configured primary — ejected replicas are not retried on every call,
-// they wait for their probation probe.
+// pickPrimary returns the first enabled in-rotation replica, preferring
+// the configured primary — ejected replicas are not retried on every
+// call, they wait for their probation probe. Disabled replicas are
+// checked before the health tracker so a parked replica never consumes
+// a probe grant.
 func (h *Hedged) pickPrimary() int {
-	if h.Health == nil {
-		return 0
-	}
+	first := -1
 	for i := range h.Replicas {
-		if h.Health.Allow(i) {
+		if !h.Enabled(i) {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		if h.Health == nil || h.Health.Allow(i) {
 			return i
 		}
 	}
-	// Everything ejected and no probe due: someone has to take the call.
+	if first >= 0 {
+		// Everything enabled is ejected and no probe due: someone has to
+		// take the call.
+		return first
+	}
+	// Everything administratively disabled (a scheduler mid-transition):
+	// fall back to the configured primary rather than fail outright.
 	return 0
 }
 
@@ -143,8 +207,11 @@ func (h *Hedged) race(req *rpc.Request, pi int, primary *rpc.Call, out *rpc.Call
 
 	hi, hedge := h.issueHedge(req, pi)
 	if hedge == nil {
-		// Unreachable with ≥2 replicas (the hedge walk degrades to an
-		// unfiltered rotation); kept as a defensive fallback.
+		// No hedge candidate: the primary is the only enabled replica
+		// (the elastic scheduler parked the rest). The health-filtered
+		// walk alone cannot land here — it degrades to an unfiltered
+		// rotation — so this is the single-active-replica path: wait on
+		// the primary like an unreplicated caller would.
 		<-primary.Done
 		h.report(pi, primary.Err == nil)
 		finish(out, primary)
@@ -236,7 +303,7 @@ func (h *Hedged) failover(req *rpc.Request, pi, skip int, out *rpc.Call) bool {
 	for pass := 0; pass < 2; pass++ {
 		for a := 0; a < n; a++ {
 			idx := int((base + uint64(a)) % uint64(n))
-			if idx == pi || idx == skip || tried[idx] {
+			if idx == pi || idx == skip || tried[idx] || !h.Enabled(idx) {
 				continue
 			}
 			if pass == 0 && h.Health != nil && !h.Health.Allow(idx) {
@@ -363,7 +430,7 @@ func (h *Hedged) issueHedge(req *rpc.Request, pi int) (int, *rpc.Call) {
 	for pass := 0; pass < 2; pass++ {
 		for a := 0; a < n; a++ {
 			idx := int((base + uint64(a)) % uint64(n))
-			if idx == pi {
+			if idx == pi || !h.Enabled(idx) {
 				continue
 			}
 			if pass == 0 && h.Health != nil && !h.Health.Allow(idx) {

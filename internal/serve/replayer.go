@@ -22,6 +22,7 @@ import (
 type Replayer struct {
 	client *rpc.Client
 	ids    trace.IDAllocator
+	method string
 
 	// Optional obs handles (nil no-ops): the client's vantage point on
 	// the deployment, alongside the server-side stage metrics.
@@ -31,7 +32,14 @@ type Replayer struct {
 
 // NewReplayer wraps a connected client to the main shard.
 func NewReplayer(client *rpc.Client) *Replayer {
-	return &Replayer{client: client}
+	return &Replayer{client: client, method: core.RankMethod}
+}
+
+// NewReplayerFor wraps a connected client to a co-serving front door,
+// addressing every request at one hosted model ("rank@<model>"; an
+// empty model is the plain single-model method).
+func NewReplayerFor(client *rpc.Client, model string) *Replayer {
+	return &Replayer{client: client, method: core.RankMethodFor(model)}
 }
 
 // Instrument folds every Send into reg: client.e2e_ns takes the
@@ -87,7 +95,7 @@ func (rp *Replayer) Send(req *workload.Request) ([]float32, time.Duration, error
 	body := core.EncodeRankingRequest(core.FromWorkload(req))
 	start := time.Now()
 	resp, err := rp.client.CallSync(&rpc.Request{
-		Method:  "rank",
+		Method:  rp.method,
 		TraceID: rp.ids.NewTraceID(),
 		CallID:  req.ID,
 		Body:    body,
