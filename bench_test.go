@@ -186,24 +186,43 @@ func denseOperands(m, k, n int) (a, b *tensor.Matrix) {
 }
 
 // BenchmarkDenseGEMM measures the blocked GEMM on a coalesced-batch
-// serving shape (64 rows through DRM1's 418->256 top layer) on the
-// serial path and at full parallelism. The two must produce bitwise
+// serving shape (64 rows through DRM1's 418->256 top layer). The
+// serial/parallel pair runs whatever kernel auto-dispatch resolves;
+// the generic/vector pair pins each kernel family explicitly so the
+// bench gate can assert the vectorized micro-kernel actually beats the
+// scalar one (benchcheck -assert-faster), and the *-tail pair repeats
+// the comparison on a deliberately awkward shape (61x419x253: row,
+// column, and k tails all non-empty) where the SIMD kernels hand the
+// leftovers to their scalar epilogues. Every arm must produce bitwise
 // identical outputs; only the wall clock may differ.
 func BenchmarkDenseGEMM(b *testing.B) {
 	a, w := denseOperands(64, 418, 256)
-	out := tensor.New(64, 256)
+	at, wt := denseOperands(61, 419, 253)
 	for _, tc := range []struct {
 		name string
 		par  int
-	}{{"serial", 1}, {"parallel", 0}} {
+		kern tensor.Kernel
+		a, w *tensor.Matrix
+	}{
+		{"serial", 1, tensor.KernelAuto, a, w},
+		{"parallel", 0, tensor.KernelAuto, a, w},
+		{"generic", 1, tensor.KernelGeneric, a, w},
+		{"vector", 1, tensor.KernelVector, a, w},
+		{"generic-tail", 1, tensor.KernelGeneric, at, wt},
+		{"vector-tail", 1, tensor.KernelVector, at, wt},
+	} {
 		b.Run(tc.name, func(b *testing.B) {
+			m, k, n := tc.a.Rows, tc.a.Cols, tc.w.Cols
+			out := tensor.New(m, n)
 			tensor.SetParallelism(tc.par)
+			tensor.SetKernel(tc.kern)
 			defer tensor.SetParallelism(0)
+			defer tensor.SetKernel(tensor.KernelAuto)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				tensor.MatMul(out, a, w)
+				tensor.MatMul(out, tc.a, tc.w)
 			}
-			flops := 2 * 64 * 418 * 256
+			flops := 2 * m * k * n
 			b.ReportMetric(float64(flops)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
 		})
 	}

@@ -8,6 +8,9 @@
 //	benchcheck -in bench.out -out BENCH_baseline.json -update        # (re)write the baseline
 //	benchcheck -in bench.out -out BENCH_ci.json \
 //	    -baseline BENCH_baseline.json -threshold 1.25                # gate: fail >25% slower
+//	benchcheck -in bench.out \
+//	    -assert-faster 'BenchmarkDenseGEMM/vector<BenchmarkDenseGEMM/generic'
+//	                                                # gate: fail unless A beats B in this run
 //
 // Comparison keys on ns/op per benchmark name (GOMAXPROCS suffix
 // stripped, so a differently-sized CI runner still matches names).
@@ -47,6 +50,7 @@ func main() {
 		baseline  = flag.String("baseline", "", "baseline manifest to gate against (optional)")
 		threshold = flag.Float64("threshold", 1.25, "fail when current ns/op exceeds baseline × threshold")
 		update    = flag.Bool("update", false, "treat -out as a fresh baseline (no gating)")
+		faster    = flag.String("assert-faster", "", "comma-separated 'A<B' pairs: fail unless benchmark A's ns/op is strictly below B's in this run")
 	)
 	flag.Parse()
 
@@ -71,6 +75,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("benchcheck: wrote %d benchmarks to %s\n", len(current), *out)
+	}
+	// Within-run ordering assertions are independent of the baseline:
+	// they compare two names from the same bench.out, so they run even
+	// in -update mode (a baseline refresh must not smuggle in a world
+	// where the vectorized kernel lost to the scalar one).
+	if *faster != "" {
+		violations, err := assertFaster(current, *faster)
+		if err != nil {
+			fatal(err)
+		}
+		if len(violations) > 0 {
+			for _, s := range violations {
+				fmt.Fprintln(os.Stderr, "benchcheck: ORDER VIOLATION:", s)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchcheck: %d ordering assertions hold\n", len(strings.Split(*faster, ",")))
 	}
 	if *update || *baseline == "" {
 		return
@@ -123,6 +144,34 @@ func compare(current, base map[string]Result, threshold float64) (regressions, i
 		}
 	}
 	return regressions, improved, onlyOne
+}
+
+// assertFaster evaluates a comma-separated list of 'A<B' pairs against
+// one run's results: every pair must name two benchmarks present in the
+// run, and A's ns/op must be strictly below B's. Unlike the baseline
+// gate, a missing name here is an error — an assertion that silently
+// stops matching anything would otherwise keep "passing" after a
+// benchmark rename.
+func assertFaster(current map[string]Result, spec string) (violations []string, err error) {
+	for _, pair := range strings.Split(spec, ",") {
+		a, b, ok := strings.Cut(strings.TrimSpace(pair), "<")
+		if !ok || a == "" || b == "" {
+			return nil, fmt.Errorf("bad -assert-faster pair %q (want 'A<B')", pair)
+		}
+		ra, okA := current[a]
+		rb, okB := current[b]
+		if !okA {
+			return nil, fmt.Errorf("-assert-faster: %q not found in this run", a)
+		}
+		if !okB {
+			return nil, fmt.Errorf("-assert-faster: %q not found in this run", b)
+		}
+		if ra.NsPerOp >= rb.NsPerOp {
+			violations = append(violations, fmt.Sprintf("%s (%.2f ns/op) is not faster than %s (%.2f ns/op)",
+				a, ra.NsPerOp, b, rb.NsPerOp))
+		}
+	}
+	return violations, nil
 }
 
 func parse(f io.Reader) (map[string]Result, error) {

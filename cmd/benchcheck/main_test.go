@@ -150,3 +150,53 @@ func TestManifestRoundTrip(t *testing.T) {
 		t.Fatalf("round trip changed manifest: %+v", out)
 	}
 }
+
+func TestAssertFasterHoldsAndViolates(t *testing.T) {
+	run := map[string]Result{
+		"BenchmarkGEMM/vector":  {NsPerOp: 450_000},
+		"BenchmarkGEMM/generic": {NsPerOp: 2_800_000},
+		"BenchmarkRow/int8-vec": {NsPerOp: 33},
+		"BenchmarkRow/int8":     {NsPerOp: 27},
+	}
+	violations, err := assertFaster(run, "BenchmarkGEMM/vector<BenchmarkGEMM/generic")
+	if err != nil || len(violations) != 0 {
+		t.Fatalf("holding assertion reported violations %v (err %v)", violations, err)
+	}
+	// Multiple pairs, one of which fails: the violation names both sides
+	// with their measured values.
+	violations, err = assertFaster(run,
+		"BenchmarkGEMM/vector<BenchmarkGEMM/generic, BenchmarkRow/int8-vec<BenchmarkRow/int8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "BenchmarkRow/int8-vec") ||
+		!strings.Contains(violations[0], "BenchmarkRow/int8 ") {
+		t.Fatalf("violations = %v, want one naming both sides", violations)
+	}
+}
+
+func TestAssertFasterTiesViolate(t *testing.T) {
+	// "Faster" means strictly faster: a tie means the vectorized kernel
+	// bought nothing, which is exactly what the assertion exists to catch.
+	run := map[string]Result{"BenchmarkA": {NsPerOp: 100}, "BenchmarkB": {NsPerOp: 100}}
+	violations, err := assertFaster(run, "BenchmarkA<BenchmarkB")
+	if err != nil || len(violations) != 1 {
+		t.Fatalf("tie not flagged: %v (err %v)", violations, err)
+	}
+}
+
+func TestAssertFasterMissingNameErrors(t *testing.T) {
+	// A renamed benchmark must break the assertion loudly, not let it
+	// keep vacuously passing.
+	run := map[string]Result{"BenchmarkA": {NsPerOp: 1}}
+	for _, spec := range []string{
+		"BenchmarkGone<BenchmarkA", // left side missing
+		"BenchmarkA<BenchmarkGone", // right side missing
+		"BenchmarkA",               // malformed: no '<'
+		"<BenchmarkA",              // malformed: empty side
+	} {
+		if _, err := assertFaster(run, spec); err == nil {
+			t.Errorf("assertFaster(%q) did not error", spec)
+		}
+	}
+}

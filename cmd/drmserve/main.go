@@ -81,8 +81,9 @@ func main() {
 		// Dense compute engine (main role runs the MLP stacks): per-GEMM
 		// worker fan-out and row-tile height. Outputs are bitwise
 		// identical at every setting.
-		densePar  = flag.Int("dense-par", 0, "dense GEMM workers per multiply: 0 = GOMAXPROCS, 1 = serial")
-		gemmBlock = flag.Int("gemm-block", 0, "dense GEMM row-tile height per worker claim (0 = default)")
+		densePar   = flag.Int("dense-par", 0, "dense GEMM workers per multiply: 0 = GOMAXPROCS, 1 = serial")
+		gemmBlock  = flag.Int("gemm-block", 0, "dense GEMM row-tile height per worker claim (0 = default)")
+		kernelName = flag.String("kernel", "", "compute kernel: auto, generic, or vector (default auto; REPRO_KERNEL env sets the same)")
 
 		// Multi-model co-serving (coserve role): every -model becomes one
 		// hosted tenant behind a shared front door, with an elastic
@@ -103,6 +104,13 @@ func main() {
 	flag.Parse()
 	tensor.SetParallelism(*densePar)
 	tensor.SetBlockRows(*gemmBlock)
+	if *kernelName != "" {
+		k, err := tensor.KernelFromString(*kernelName)
+		if err != nil {
+			fatal(err)
+		}
+		tensor.SetKernel(k)
+	}
 
 	scaleModel, scaleTo, err := parseScale(*scale)
 	if err != nil {

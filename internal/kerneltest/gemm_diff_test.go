@@ -1,0 +1,151 @@
+package kerneltest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// resetDispatch restores every tensor knob the sweeps touch.
+func resetDispatch() {
+	tensor.SetKernel(tensor.KernelAuto)
+	tensor.SetParallelism(0)
+	tensor.SetBlockRows(0)
+}
+
+// TestGEMMDifferential is the core differential property: for every
+// adversarial shape × payload class, MatMul under every kernel ×
+// parallelism × block-rows setting is bitwise identical to the
+// harness oracle. The special payload class carries distinct-payload
+// NaNs, ±Inf, subnormals, and -0, so an asm kernel whose multiply or
+// add operand order differs from the generic kernel's fails here.
+func TestGEMMDifferential(t *testing.T) {
+	defer resetDispatch()
+	rng := rand.New(rand.NewSource(1234))
+	for _, p := range Payloads() {
+		for _, s := range GEMMShapes() {
+			a := RandMatrix(rng, s.M, s.K, p)
+			b := RandMatrix(rng, s.K, s.N, p)
+			want := tensor.New(s.M, s.N)
+			RefMatMul(want, a, b)
+			for _, kern := range Kernels() {
+				for _, par := range []int{1, 3} {
+					for _, block := range []int{0, 1, 7} {
+						tensor.SetKernel(kern)
+						tensor.SetParallelism(par)
+						tensor.SetBlockRows(block)
+						got := tensor.New(s.M, s.N)
+						for i := range got.Data {
+							got.Data[i] = float32(math.NaN()) // dirty dst
+						}
+						tensor.MatMul(got, a, b)
+						if i := DiffFloat32(got.Data, want.Data); i >= 0 {
+							t.Fatalf("payload=%s shape=%dx%dx%d kern=%v par=%d block=%d: element %d = %08x, want %08x",
+								p.Name, s.M, s.K, s.N, kern, par, block, i,
+								math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGEMMDifferentialUnaligned re-runs the differential on operands
+// whose backing slices start at odd element offsets, so the vector
+// kernels see base pointers with every 4-byte-aligned misalignment
+// class relative to 16/32-byte vector widths.
+func TestGEMMDifferentialUnaligned(t *testing.T) {
+	defer resetDispatch()
+	rng := rand.New(rand.NewSource(77))
+	p := Payloads()[2] // special values
+	for _, off := range []int{1, 2, 3, 5, 7} {
+		s := Shape{M: 9, K: 23, N: 21}
+		a := UnalignedMatrix(rng, s.M, s.K, off, p)
+		b := UnalignedMatrix(rng, s.K, s.N, off, p)
+		want := tensor.New(s.M, s.N)
+		RefMatMul(want, a, b)
+		for _, kern := range Kernels() {
+			tensor.SetKernel(kern)
+			got := UnalignedMatrix(rng, s.M, s.N, off, p) // dirty, unaligned dst
+			tensor.MatMul(got, a, b)
+			if i := DiffFloat32(got.Data, want.Data); i >= 0 {
+				t.Fatalf("off=%d kern=%v: element %d = %08x, want %08x",
+					off, kern, i, math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+			}
+		}
+	}
+}
+
+// TestGEMMEpilogueDifferential checks the fused-epilogue entry point
+// under both kernels: epilogue fusion must not change the GEMM bits it
+// runs on, and the epilogue must observe fully-written rows.
+func TestGEMMEpilogueDifferential(t *testing.T) {
+	defer resetDispatch()
+	rng := rand.New(rand.NewSource(31))
+	p := Payloads()[1]
+	a := RandMatrix(rng, 33, 29, p)
+	b := RandMatrix(rng, 29, 27, p)
+	bias := make([]float32, 27)
+	p.Fill(rng, bias)
+
+	want := tensor.New(33, 27)
+	RefMatMul(want, a, b)
+	for r := 0; r < 33; r++ {
+		row := want.Row(r)
+		for c := range row {
+			row[c] += bias[c]
+		}
+	}
+
+	for _, kern := range Kernels() {
+		for _, par := range []int{1, 4} {
+			tensor.SetKernel(kern)
+			tensor.SetParallelism(par)
+			got := tensor.New(33, 27)
+			tensor.MatMulEpilogue(got, a, b, func(i0, i1 int) {
+				for r := i0; r < i1; r++ {
+					row := got.Row(r)
+					for c := range row {
+						row[c] += bias[c]
+					}
+				}
+			})
+			if i := DiffFloat32(got.Data, want.Data); i >= 0 {
+				t.Fatalf("kern=%v par=%d: element %d = %08x, want %08x",
+					kern, par, i, math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+			}
+		}
+	}
+}
+
+// TestGEMMCrossKernelSweep pins generic-vs-vector identity (rather than
+// oracle identity) over a dense sweep of small shapes, catching any
+// tail-length regression in the micro-kernel dispatch seams.
+func TestGEMMCrossKernelSweep(t *testing.T) {
+	defer resetDispatch()
+	rng := rand.New(rand.NewSource(6))
+	p := Payloads()[2]
+	for m := 1; m <= 6; m++ {
+		for k := 1; k <= 6; k++ {
+			for n := 1; n <= 10; n++ {
+				a := RandMatrix(rng, m, k, p)
+				b := RandMatrix(rng, k, n, p)
+				tensor.SetKernel(tensor.KernelGeneric)
+				want := tensor.New(m, n)
+				tensor.MatMul(want, a, b)
+				tensor.SetKernel(tensor.KernelVector)
+				got := tensor.New(m, n)
+				tensor.MatMul(got, a, b)
+				if i := DiffFloat32(got.Data, want.Data); i >= 0 {
+					t.Fatalf("%s: element %d = %08x, want %08x",
+						fmt.Sprintf("%dx%dx%d", m, k, n), i,
+						math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+				}
+			}
+		}
+	}
+}

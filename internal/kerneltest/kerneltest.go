@@ -1,0 +1,191 @@
+// Package kerneltest is the differential kernel-test harness: the
+// machinery that proves the hand-vectorized kernels behind
+// tensor.SetKernel are safe to dispatch to. Every dispatched hot loop
+// promises bitwise-identical results to its generic reference at every
+// shape and payload; this package supplies the adversarial inputs that
+// make violations visible — odd and prime dimensions, sub-block tails,
+// zero-size operands, unaligned slice offsets, and NaN/Inf/denormal
+// payloads whose propagation depends on exact instruction operand order
+// — plus independent reference implementations to compare against. The
+// tests in this package sweep the full parallelism × block × dispatch
+// cross-product; CI additionally re-runs the kernel-owning packages
+// once per forced REPRO_KERNEL setting.
+//
+// The harness keeps its own GEMM oracle (RefMatMul) rather than
+// importing one from internal/tensor, so a bug introduced into the
+// tensor package's reference path cannot silently re-tune the
+// expectation it is compared to.
+package kerneltest
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Shape is one GEMM problem size: dst is M×N, a is M×K, b is K×N.
+type Shape struct{ M, K, N int }
+
+// GEMMShapes returns the adversarial shape sweep. Alongside ordinary
+// sizes it covers every boundary class the blocked engine has: zero
+// dimensions (empty dst, and the k=0 case where dst must still be
+// zeroed), single elements, primes that straddle the 4-row micro-kernel
+// and 8/4-wide axpy bodies with every tail length, exact tile and panel
+// boundaries, and one size large enough to take the parallel path.
+func GEMMShapes() []Shape {
+	return []Shape{
+		{0, 4, 4}, {4, 0, 4}, {4, 4, 0}, {0, 0, 0},
+		{1, 1, 1}, {1, 2, 1}, {2, 1, 2},
+		{3, 5, 7}, {5, 7, 3}, {7, 3, 5},
+		{4, 4, 8}, {4, 4, 9}, {5, 4, 8}, // micro-kernel row groups ± 1
+		{13, 17, 11}, {17, 31, 13}, // primes, all tails
+		{16, 64, 64}, {17, 64, 65}, // one tile, one tile + 1
+		{8, 16, 512}, {8, 16, 513}, // column-panel boundary ± 1
+		{6, 512, 16}, {6, 515, 16}, // k-panel boundary ± 3
+		{64, 96, 33}, // parallel path, odd columns
+	}
+}
+
+// Payload names one float32 fill strategy for differential inputs.
+type Payload struct {
+	Name string
+	Fill func(rng *rand.Rand, dst []float32)
+}
+
+// Payloads returns the payload classes the differential tests sweep.
+// The special-value class deliberately mixes distinct NaN payloads:
+// x86 returns the first source operand when both inputs of a mul/add
+// are NaN, so two kernels that disagree on operand order produce
+// different bit patterns here and nowhere else.
+func Payloads() []Payload {
+	return []Payload{
+		{"normal", func(rng *rand.Rand, dst []float32) {
+			for i := range dst {
+				dst[i] = float32(rng.NormFloat64())
+			}
+		}},
+		{"sparse", func(rng *rand.Rand, dst []float32) {
+			for i := range dst {
+				if rng.Intn(3) == 0 {
+					dst[i] = 0
+				} else {
+					dst[i] = float32(rng.NormFloat64())
+				}
+			}
+		}},
+		{"special", func(rng *rand.Rand, dst []float32) {
+			for i := range dst {
+				switch rng.Intn(8) {
+				case 0:
+					dst[i] = float32(math.NaN())
+				case 1:
+					// Distinct quiet-NaN payloads expose operand-order bugs.
+					dst[i] = math.Float32frombits(0x7fc00000 | uint32(rng.Intn(1<<20)))
+				case 2:
+					dst[i] = float32(math.Inf(1))
+				case 3:
+					dst[i] = float32(math.Inf(-1))
+				case 4:
+					// Subnormals: catches kernels that flush to zero.
+					dst[i] = math.Float32frombits(uint32(rng.Intn(1<<23-1) + 1))
+				case 5:
+					dst[i] = math.Float32frombits(0x80000000) // -0
+				case 6:
+					dst[i] = 0
+				default:
+					dst[i] = float32(rng.NormFloat64())
+				}
+			}
+		}},
+	}
+}
+
+// RandMatrix builds an M×K matrix with the payload's fill.
+func RandMatrix(rng *rand.Rand, rows, cols int, p Payload) *tensor.Matrix {
+	m := tensor.New(rows, cols)
+	p.Fill(rng, m.Data)
+	return m
+}
+
+// UnalignedMatrix builds a matrix whose Data begins at a deliberately
+// odd element offset inside a larger backing array, so its base pointer
+// is 4-byte but not 16/32-byte aligned — the layout the vector kernels'
+// unaligned loads must handle.
+func UnalignedMatrix(rng *rand.Rand, rows, cols, offset int, p Payload) *tensor.Matrix {
+	backing := make([]float32, offset+rows*cols)
+	data := backing[offset : offset+rows*cols]
+	p.Fill(rng, data)
+	return tensor.FromSlice(rows, cols, data)
+}
+
+// refMul and refAcc make the oracle's both-NaN outcomes explicit. When
+// exactly one operand of an x86 mul/add is NaN the result payload is
+// that NaN regardless of operand order, but when BOTH are NaN the
+// first-source operand wins — and which expression operand the Go
+// compiler puts in the first-source slot is a per-site, per-build-mode
+// accident (the -race build of this very file flipped a plain
+// `d += av*bv` loop's choice). The production kernels' behavior is
+// fixed — the multiply propagates bv, the accumulate propagates the
+// product — so the oracle encodes those two rules as branches instead
+// of trusting its own compilation.
+func refMul(av, bv float32) float32 {
+	if av != av && bv != bv {
+		return bv
+	}
+	return av * bv
+}
+
+func refAcc(d, t float32) float32 {
+	if d != d && t != t {
+		return t
+	}
+	return d + t
+}
+
+// RefMatMul is the harness's independent GEMM oracle: per dst element
+// one accumulator summed over k strictly ascending, skipping a-values
+// that are zero (which preserves NaN/Inf columns exactly as the engine
+// contract specifies: a zero a-element contributes nothing, not 0*b).
+func RefMatMul(dst, a, b *tensor.Matrix) {
+	n := b.Cols
+	k := a.Cols
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := range drow {
+			drow[j] = 0
+		}
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[p*n : (p+1)*n]
+			for j := range brow {
+				drow[j] = refAcc(drow[j], refMul(av, brow[j]))
+			}
+		}
+	}
+}
+
+// DiffFloat32 returns the index of the first bitwise difference between
+// got and want, or -1 if they are identical. Lengths must match; a
+// length mismatch reports index len(want).
+func DiffFloat32(got, want []float32) int {
+	if len(got) != len(want) {
+		return len(want)
+	}
+	for i := range want {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Kernels returns both forced dispatch settings, the axis every
+// differential test sweeps.
+func Kernels() []tensor.Kernel {
+	return []tensor.Kernel{tensor.KernelGeneric, tensor.KernelVector}
+}

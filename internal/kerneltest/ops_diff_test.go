@@ -1,0 +1,80 @@
+package kerneltest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/embedding"
+	"repro/internal/nn"
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// TestSLSCrossKernelIdentity runs the full SLS operator (whole-bag
+// fast path for quantized tables, per-row path for dense) under both
+// dispatch settings and demands bitwise-identical pooled outputs — the
+// operator-level closure of the per-row decode property.
+func TestSLSCrossKernelIdentity(t *testing.T) {
+	defer tensor.SetKernel(tensor.KernelAuto)
+	rng := rand.New(rand.NewSource(21))
+	const rows, dim = 500, 19
+	dense := embedding.NewDenseRandom(rng, rows, dim, 1)
+	tables := map[string]embedding.Table{
+		"dense": dense,
+		"int8":  dense.Quantize(quant.Bits8),
+		"int4":  dense.Quantize(quant.Bits4),
+		"fp16":  dense.ToFP16(),
+	}
+	bags := make([]embedding.Bag, 12)
+	for b := range bags {
+		idx := make([]int32, rng.Intn(40))
+		for i := range idx {
+			idx[i] = int32(rng.Intn(rows))
+		}
+		bags[b] = embedding.Bag{Indices: idx}
+	}
+	for name, table := range tables {
+		tensor.SetKernel(tensor.KernelGeneric)
+		want := make([]float32, len(bags)*dim)
+		embedding.SLS(want, table, bags)
+		tensor.SetKernel(tensor.KernelVector)
+		got := make([]float32, len(bags)*dim)
+		embedding.SLS(got, table, bags)
+		if i := DiffFloat32(got, want); i >= 0 {
+			t.Fatalf("%s: element %d = %08x, want %08x",
+				name, i, math.Float32bits(got[i]), math.Float32bits(want[i]))
+		}
+	}
+}
+
+// TestFusedFCCrossKernelIdentity runs the fused FC+activation op (the
+// dense-stack building block, which rides the GEMM epilogue) under both
+// dispatch settings, checking layer outputs bitwise.
+func TestFusedFCCrossKernelIdentity(t *testing.T) {
+	defer tensor.SetKernel(tensor.KernelAuto)
+	rng := rand.New(rand.NewSource(8))
+	p := Payloads()[1]
+	w := RandMatrix(rng, 37, 23, p)
+	bias := make([]float32, 23)
+	p.Fill(rng, bias)
+	in := RandMatrix(rng, 41, 37, p)
+
+	run := func(k tensor.Kernel) *tensor.Matrix {
+		tensor.SetKernel(k)
+		ws := nn.NewWorkspace()
+		ws.SetBlob("in", in.Clone())
+		op := &nn.FusedFC{OpName: "ffc", W: w, B: bias, Act: nn.ActReLU, Input: "in", Output: "out"}
+		if err := op.Run(ws); err != nil {
+			t.Fatal(err)
+		}
+		out, _ := ws.Blob("out")
+		return out
+	}
+	want := run(tensor.KernelGeneric)
+	got := run(tensor.KernelVector)
+	if i := DiffFloat32(got.Data, want.Data); i >= 0 {
+		t.Fatalf("element %d = %08x, want %08x",
+			i, math.Float32bits(got.Data[i]), math.Float32bits(want.Data[i]))
+	}
+}

@@ -3,11 +3,16 @@ package quant
 import (
 	"math/rand"
 	"testing"
+
+	"repro/internal/tensor"
 )
 
 // Ablation: lookup-path cost of quantization widths. Table III's finding
 // that compression barely moves latency rests on the dequantize-fused
-// pooling staying close to raw fp32 accumulation.
+// pooling staying close to raw fp32 accumulation. The plain int8/int4
+// arms force the generic (scalar) kernel — the committed pre-dispatch
+// baseline — and the -vector arms force the word-wide decoders, so the
+// benchcheck faster-than assertion can compare the two within one run.
 func BenchmarkAccumulateRowByWidth(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	const rows, cols = 65536, 16
@@ -29,16 +34,56 @@ func BenchmarkAccumulateRowByWidth(b *testing.B) {
 			}
 		}
 	})
-	for _, bits := range []Bits{Bits8, Bits4} {
-		q := QuantizeRows(data, rows, cols, bits)
-		name := "int8"
-		if bits == Bits4 {
-			name = "int4"
+	for _, tc := range []struct {
+		name string
+		kern tensor.Kernel
+	}{
+		{"int8", tensor.KernelGeneric},
+		{"int4", tensor.KernelGeneric},
+		{"int8-vector", tensor.KernelVector},
+		{"int4-vector", tensor.KernelVector},
+	} {
+		bits := Bits8
+		if tc.name[:4] == "int4" {
+			bits = Bits4
 		}
-		b.Run(name, func(b *testing.B) {
+		q := QuantizeRows(data, rows, cols, bits)
+		b.Run(tc.name, func(b *testing.B) {
+			tensor.SetKernel(tc.kern)
+			defer tensor.SetKernel(tensor.KernelAuto)
 			acc := make([]float32, cols)
 			for i := 0; i < b.N; i++ {
 				q.AccumulateRow(acc, idx[i%len(idx)])
+			}
+		})
+	}
+}
+
+// BenchmarkAccumulateBagByKernel measures the whole-bag pooling path —
+// dispatch resolved once per bag, the word-wide decode per row — at a
+// production-shaped pooling factor, per kernel.
+func BenchmarkAccumulateBagByKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const rows, cols, bag = 65536, 32, 64
+	data := make([]float32, rows*cols)
+	for i := range data {
+		data[i] = rng.Float32()*2 - 1
+	}
+	q := QuantizeRows(data, rows, cols, Bits8)
+	indices := make([]int32, bag)
+	for i := range indices {
+		indices[i] = int32(rng.Intn(rows))
+	}
+	for _, tc := range []struct {
+		name string
+		kern tensor.Kernel
+	}{{"generic", tensor.KernelGeneric}, {"vector", tensor.KernelVector}} {
+		b.Run(tc.name, func(b *testing.B) {
+			tensor.SetKernel(tc.kern)
+			defer tensor.SetKernel(tensor.KernelAuto)
+			acc := make([]float32, cols)
+			for i := 0; i < b.N; i++ {
+				q.AccumulateBag(acc, indices)
 			}
 		})
 	}

@@ -1,0 +1,204 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// SIMD quantized-row decode kernels (SSE2-only, so unconditionally
+// available on amd64). Each call processes n codes, n a positive
+// multiple of 8 (int8) or 16 (int4); the Go wrappers handle tails.
+//
+// Per lane the arithmetic is t = code*scale; t = t + bias;
+// acc = acc + t, with x86 first-source operands chosen to match the
+// compiled scalar kernel so NaN/Inf scale or bias headers propagate
+// bitwise identically: the multiply's first source is the converted
+// code (always finite) and the first add's first source is t. The
+// accumulate's first source is whatever the matching scalar loop
+// compiled to — acc for the int8 loop, t for the int4 loop; the
+// kerneltest differential suite pins both empirically. The fuzz
+// harness exercises exactly these payloads.
+//
+// Register plan (shared by all four kernels):
+//   X0 scale ×4   X1 bias ×4   X2 nibble mask   X7 zero
+//   X4/X5/X6/X8 unpack pipeline   X9 acc staging
+
+DATA nibmask<>+0(SB)/8, $0x0f0f0f0f0f0f0f0f
+DATA nibmask<>+8(SB)/8, $0x0f0f0f0f0f0f0f0f
+GLOBL nibmask<>(SB), RODATA|NOPTR, $16
+
+// func accum8ptr(acc *float32, src *byte, n int, scale, bias float32)
+TEXT ·accum8ptr(SB), NOSPLIT, $0-32
+	MOVQ  acc+0(FP), DI
+	MOVQ  src+8(FP), SI
+	MOVQ  n+16(FP), AX
+	MOVSS scale+24(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVSS bias+28(FP), X1
+	SHUFPS $0x00, X1, X1
+	PXOR  X7, X7
+
+loop8:
+	MOVQ      (SI), X4     // 8 uint8 codes
+	PUNPCKLBW X7, X4       // -> 8 uint16
+	MOVO      X4, X5
+	PUNPCKLWL X7, X4       // codes 0..3 as uint32
+	PUNPCKHWL X7, X5       // codes 4..7 as uint32
+	CVTPL2PS  X4, X4       // -> float32
+	CVTPL2PS  X5, X5
+	MULPS     X0, X4       // t = code*scale (first source: code)
+	MULPS     X0, X5
+	ADDPS     X1, X4       // t += bias (first source: t)
+	ADDPS     X1, X5
+	MOVUPS    (DI), X9
+	ADDPS     X4, X9       // acc += t (first source: acc)
+	MOVUPS    X9, (DI)
+	MOVUPS    16(DI), X9
+	ADDPS     X5, X9
+	MOVUPS    X9, 16(DI)
+	ADDQ      $8, SI
+	ADDQ      $32, DI
+	SUBQ      $8, AX
+	JNZ       loop8
+	RET
+
+// func dequant8ptr(dst *float32, src *byte, n int, scale, bias float32)
+TEXT ·dequant8ptr(SB), NOSPLIT, $0-32
+	MOVQ  dst+0(FP), DI
+	MOVQ  src+8(FP), SI
+	MOVQ  n+16(FP), AX
+	MOVSS scale+24(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVSS bias+28(FP), X1
+	SHUFPS $0x00, X1, X1
+	PXOR  X7, X7
+
+dloop8:
+	MOVQ      (SI), X4
+	PUNPCKLBW X7, X4
+	MOVO      X4, X5
+	PUNPCKLWL X7, X4
+	PUNPCKHWL X7, X5
+	CVTPL2PS  X4, X4
+	CVTPL2PS  X5, X5
+	MULPS     X0, X4
+	MULPS     X0, X5
+	ADDPS     X1, X4
+	ADDPS     X1, X5
+	MOVUPS    X4, (DI)
+	MOVUPS    X5, 16(DI)
+	ADDQ      $8, SI
+	ADDQ      $32, DI
+	SUBQ      $8, AX
+	JNZ       dloop8
+	RET
+
+// func accum4ptr(acc *float32, src *byte, n int, scale, bias float32)
+//
+// 16 int4 codes per iteration from 8 packed bytes. Low nibbles are the
+// even columns: masking gives e0,e2,...; shifting each 16-bit lane
+// right by 4 then masking gives e1,e3,... per byte; PUNPCKLBW
+// interleaves the two back into e0,e1,e2,...,e15.
+TEXT ·accum4ptr(SB), NOSPLIT, $0-32
+	MOVQ  acc+0(FP), DI
+	MOVQ  src+8(FP), SI
+	MOVQ  n+16(FP), AX
+	MOVSS scale+24(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVSS bias+28(FP), X1
+	SHUFPS $0x00, X1, X1
+	MOVOU nibmask<>(SB), X2
+	PXOR  X7, X7
+
+loop4:
+	MOVQ      (SI), X4     // 8 bytes = 16 codes
+	MOVO      X4, X5
+	PAND      X2, X4       // low nibbles: e0,e2,...,e14
+	PSRLW     $4, X5
+	PAND      X2, X5       // high nibbles: e1,e3,...,e15
+	PUNPCKLBW X5, X4       // e0,e1,...,e15 as uint8
+	MOVO      X4, X5
+	PUNPCKLBW X7, X4       // e0..e7 as uint16
+	PUNPCKHBW X7, X5       // e8..e15 as uint16
+	MOVO      X4, X6
+	PUNPCKLWL X7, X4       // e0..e3
+	PUNPCKHWL X7, X6       // e4..e7
+	MOVO      X5, X8
+	PUNPCKLWL X7, X5       // e8..e11
+	PUNPCKHWL X7, X8       // e12..e15
+	CVTPL2PS  X4, X4
+	CVTPL2PS  X6, X6
+	CVTPL2PS  X5, X5
+	CVTPL2PS  X8, X8
+	MULPS     X0, X4
+	MULPS     X0, X6
+	MULPS     X0, X5
+	MULPS     X0, X8
+	ADDPS     X1, X4
+	ADDPS     X1, X6
+	ADDPS     X1, X5
+	ADDPS     X1, X8
+	MOVUPS    (DI), X9     // acc += t with first source t: the compiled
+	ADDPS     X9, X4       // int4 scalar loop orders this add opposite
+	MOVUPS    X4, (DI)     // to the int8 one (kerneltest probes pin both)
+	MOVUPS    16(DI), X9
+	ADDPS     X9, X6
+	MOVUPS    X6, 16(DI)
+	MOVUPS    32(DI), X9
+	ADDPS     X9, X5
+	MOVUPS    X5, 32(DI)
+	MOVUPS    48(DI), X9
+	ADDPS     X9, X8
+	MOVUPS    X8, 48(DI)
+	ADDQ      $8, SI
+	ADDQ      $64, DI
+	SUBQ      $16, AX
+	JNZ       loop4
+	RET
+
+// func dequant4ptr(dst *float32, src *byte, n int, scale, bias float32)
+TEXT ·dequant4ptr(SB), NOSPLIT, $0-32
+	MOVQ  dst+0(FP), DI
+	MOVQ  src+8(FP), SI
+	MOVQ  n+16(FP), AX
+	MOVSS scale+24(FP), X0
+	SHUFPS $0x00, X0, X0
+	MOVSS bias+28(FP), X1
+	SHUFPS $0x00, X1, X1
+	MOVOU nibmask<>(SB), X2
+	PXOR  X7, X7
+
+dloop4:
+	MOVQ      (SI), X4
+	MOVO      X4, X5
+	PAND      X2, X4
+	PSRLW     $4, X5
+	PAND      X2, X5
+	PUNPCKLBW X5, X4
+	MOVO      X4, X5
+	PUNPCKLBW X7, X4
+	PUNPCKHBW X7, X5
+	MOVO      X4, X6
+	PUNPCKLWL X7, X4
+	PUNPCKHWL X7, X6
+	MOVO      X5, X8
+	PUNPCKLWL X7, X5
+	PUNPCKHWL X7, X8
+	CVTPL2PS  X4, X4
+	CVTPL2PS  X6, X6
+	CVTPL2PS  X5, X5
+	CVTPL2PS  X8, X8
+	MULPS     X0, X4
+	MULPS     X0, X6
+	MULPS     X0, X5
+	MULPS     X0, X8
+	ADDPS     X1, X4
+	ADDPS     X1, X6
+	ADDPS     X1, X5
+	ADDPS     X1, X8
+	MOVUPS    X4, (DI)
+	MOVUPS    X6, 16(DI)
+	MOVUPS    X5, 32(DI)
+	MOVUPS    X8, 48(DI)
+	ADDQ      $8, SI
+	ADDQ      $64, DI
+	SUBQ      $16, AX
+	JNZ       dloop4
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package quant
+
+// Stubs for architectures without the SIMD decode assembly: the
+// word-wide pure-Go paths in decode_vector.go carry the vector kernel
+// alone. The stubs are never called — haveDecodeASM is a compile-time
+// constant, so the calls are dead-code-eliminated — but must exist to
+// typecheck.
+
+const haveDecodeASM = false
+
+func accum8ptr(acc *float32, src *byte, n int, scale, bias float32)   { panic("no decode asm") }
+func dequant8ptr(dst *float32, src *byte, n int, scale, bias float32) { panic("no decode asm") }
+func accum4ptr(acc *float32, src *byte, n int, scale, bias float32)   { panic("no decode asm") }
+func dequant4ptr(dst *float32, src *byte, n int, scale, bias float32) { panic("no decode asm") }

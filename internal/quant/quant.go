@@ -211,13 +211,30 @@ func (q *RowQuantized) SetRowRange(lo int, raw []byte) (int, error) {
 }
 
 // DequantizeRowInto decodes row r into dst, which must have length Cols.
-// This is the hot path used by quantized SLS lookups.
+// This is the hot path used by quantized SLS lookups and the tiered
+// store's cache fills. Dispatches between the scalar decoders below and
+// the word-wide ones in decode_vector.go; both produce bitwise-identical
+// values, so a cached row never depends on which kernel filled it.
 func (q *RowQuantized) DequantizeRowInto(dst []float32, r int) {
 	if len(dst) != q.Cols {
 		panic(fmt.Sprintf("quant: dst length %d != cols %d", len(dst), q.Cols))
 	}
 	scale, bias := f16to32(q.Scales[r]), f16to32(q.Biases[r])
 	src := q.Packed[r*q.rowStride : (r+1)*q.rowStride]
+	if vectorActive() {
+		switch q.Bits {
+		case Bits8:
+			dequantizeRow8Vec(dst, src, scale, bias, q.Cols)
+		case Bits4:
+			dequantizeRow4Vec(dst, src, scale, bias, q.Cols)
+		}
+		return
+	}
+	q.dequantizeRowScalar(dst, src, scale, bias)
+}
+
+// dequantizeRowScalar is the generic reference decoder.
+func (q *RowQuantized) dequantizeRowScalar(dst []float32, src []byte, scale, bias float32) {
 	switch q.Bits {
 	case Bits8:
 		for c := 0; c < q.Cols; c++ {
@@ -238,10 +255,50 @@ func (q *RowQuantized) DequantizeRowInto(dst []float32, r int) {
 }
 
 // AccumulateRow adds row r (dequantized on the fly) into acc, fusing the
-// dequantize with the SLS pooling sum so no temporary row is materialized.
+// dequantize with the SLS pooling sum so no temporary row is
+// materialized. Kernel-dispatched like DequantizeRowInto.
 func (q *RowQuantized) AccumulateRow(acc []float32, r int) {
 	scale, bias := f16to32(q.Scales[r]), f16to32(q.Biases[r])
 	src := q.Packed[r*q.rowStride : (r+1)*q.rowStride]
+	if vectorActive() {
+		q.accumulateRowVec(acc, src, scale, bias)
+		return
+	}
+	q.accumulateRowScalar(acc, src, scale, bias)
+}
+
+// AccumulateBag adds every listed row into acc in index order — the
+// whole-bag SLS pooling path. Resolving kernel dispatch once per bag
+// rather than once per row keeps the dispatch load off the per-row cost;
+// the accumulation order and arithmetic are exactly AccumulateRow's.
+// Row indices must be in [0, Rows); like AccumulateRow, an out-of-range
+// index panics.
+func (q *RowQuantized) AccumulateBag(acc []float32, indices []int32) {
+	vec := vectorActive()
+	for _, idx := range indices {
+		r := int(idx)
+		scale, bias := f16to32(q.Scales[r]), f16to32(q.Biases[r])
+		src := q.Packed[r*q.rowStride : (r+1)*q.rowStride]
+		if vec {
+			q.accumulateRowVec(acc, src, scale, bias)
+		} else {
+			q.accumulateRowScalar(acc, src, scale, bias)
+		}
+	}
+}
+
+// accumulateRowVec routes one row through the word-wide decoders.
+func (q *RowQuantized) accumulateRowVec(acc []float32, src []byte, scale, bias float32) {
+	switch q.Bits {
+	case Bits8:
+		accumulateRow8Vec(acc, src, scale, bias, q.Cols)
+	case Bits4:
+		accumulateRow4Vec(acc, src, scale, bias, q.Cols)
+	}
+}
+
+// accumulateRowScalar is the generic reference accumulator.
+func (q *RowQuantized) accumulateRowScalar(acc []float32, src []byte, scale, bias float32) {
 	switch q.Bits {
 	case Bits8:
 		for c := 0; c < q.Cols; c++ {

@@ -83,6 +83,7 @@ type gemmJob struct {
 	dst, a, b *Matrix
 	epi       func(i0, i1 int)
 	block     int
+	vec       bool
 	tiles     int32
 	next      atomic.Int32
 	wg        sync.WaitGroup
@@ -99,7 +100,7 @@ func (j *gemmJob) run() {
 		if i1 > j.dst.Rows {
 			i1 = j.dst.Rows
 		}
-		gemmRows(j.dst, j.a, j.b, i0, i1)
+		gemmRows(j.dst, j.a, j.b, i0, i1, j.vec)
 		if j.epi != nil {
 			j.epi(i0, i1)
 		}
@@ -143,15 +144,18 @@ func matmul(dst, a, b *Matrix, epi func(i0, i1 int)) {
 	block := BlockRows()
 	work := int64(a.Rows) * int64(a.Cols) * int64(b.Cols)
 	workers := Parallelism()
+	// Resolve kernel dispatch once per MatMul so every tile of one call
+	// runs the same kernel even if SetKernel races the call.
+	vec := ActiveKernel() == KernelVector
 	if workers <= 1 || dst.Rows <= block || work < gemmSerialWork {
-		gemmRows(dst, a, b, 0, dst.Rows)
+		gemmRows(dst, a, b, 0, dst.Rows, vec)
 		if epi != nil && dst.Rows > 0 {
 			epi(0, dst.Rows)
 		}
 		return
 	}
 
-	job := &gemmJob{dst: dst, a: a, b: b, epi: epi, block: block}
+	job := &gemmJob{dst: dst, a: a, b: b, epi: epi, block: block, vec: vec}
 	job.tiles = int32((dst.Rows + block - 1) / block)
 	job.wg.Add(int(job.tiles))
 	// Post at most workers-1 claim handles (the submitter is a worker
@@ -174,11 +178,25 @@ posting:
 	job.wg.Wait()
 }
 
-// gemmRows computes rows [i0, i1) of dst = a×b. Per element the
-// accumulation runs over k strictly ascending with the same zero-skip on
-// every path — the bitwise-determinism contract. (The j traversal order
-// is free: each output element is a single independent accumulator.)
-func gemmRows(dst, a, b *Matrix, i0, i1 int) {
+// gemmRows computes rows [i0, i1) of dst = a×b with the kernel selected
+// at matmul entry: the register-blocked micro-kernel (gemm_vector.go) or
+// the generic streaming kernel below. Per element the accumulation runs
+// over k strictly ascending with the same zero-skip on every path — the
+// bitwise-determinism contract — so the kernels are interchangeable
+// bit for bit. (The j traversal order is free: each output element is a
+// single independent accumulator.)
+func gemmRows(dst, a, b *Matrix, i0, i1 int, vec bool) {
+	if vec {
+		gemmRowsVector(dst, a, b, i0, i1)
+		return
+	}
+	gemmRowsGeneric(dst, a, b, i0, i1)
+}
+
+// gemmRowsGeneric is the portable reference kernel: one output row at a
+// time, whole streamed rows of b through the accumulator row (or column/k
+// panels for wide outputs).
+func gemmRowsGeneric(dst, a, b *Matrix, i0, i1 int) {
 	k, n := a.Cols, b.Cols
 	if n <= gemmColBlock {
 		// Streaming path: whole rows of b through the accumulator row.

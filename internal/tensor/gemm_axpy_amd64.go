@@ -1,0 +1,64 @@
+//go:build amd64
+
+package tensor
+
+// SIMD axpy primitives for the vector kernel. The assembly
+// (gemm_axpy_amd64.s) processes 8 floats per step with AVX when the
+// host supports it (CPUID OSXSAVE+AVX plus XCR0 confirming the OS saves
+// YMM state) and falls back to 4-wide SSE2 — always present on amd64 —
+// otherwise, with a scalar tail. All widths perform, per element,
+// exactly the two operations the generic kernel performs (one float32
+// multiply, one float32 add, in that order), so lane width never changes
+// results: IEEE lanes are independent and MXCSR stays at Go's defaults
+// (round-to-nearest, denormals honored).
+
+// useAVX is read by the assembly to pick the 8-wide loop. Set once at
+// init; a plain byte-sized load in the kernel, not atomic, because it
+// never changes after init.
+var useAVX = detectAVX()
+
+// cpuid executes CPUID for the given leaf/subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the OS-enabled extended-state mask.
+func xgetbv0() (eax, edx uint32)
+
+// detectAVX reports whether AVX instructions are both implemented by the
+// CPU and enabled by the OS (XCR0 must show x87+SSE+AVX state saved).
+func detectAVX() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 1 {
+		return false
+	}
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	_, _, ecx, _ := cpuid(1, 0)
+	if ecx&osxsave == 0 || ecx&avx == 0 {
+		return false
+	}
+	lo, _ := xgetbv0()
+	return lo&0x6 == 0x6
+}
+
+//go:noescape
+func axpy4ptr(d0, d1, d2, d3, b *float32, n int, a0, a1, a2, a3 float32)
+
+//go:noescape
+func axpy1ptr(d, b *float32, n int, a float32)
+
+// axpy4 accumulates d·[j] += a·*b[j] for four destination rows sharing
+// one streamed b row. All five slices have equal length.
+func axpy4(d0, d1, d2, d3, b []float32, a0, a1, a2, a3 float32) {
+	if len(b) == 0 {
+		return
+	}
+	axpy4ptr(&d0[0], &d1[0], &d2[0], &d3[0], &b[0], len(b), a0, a1, a2, a3)
+}
+
+// axpy1 accumulates d[j] += a*b[j]. Both slices have equal length.
+func axpy1(d, b []float32, a float32) {
+	if len(b) == 0 {
+		return
+	}
+	axpy1ptr(&d[0], &b[0], len(b), a)
+}

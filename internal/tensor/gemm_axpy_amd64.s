@@ -1,0 +1,219 @@
+// SIMD axpy kernels for the vectorized GEMM micro-kernel (see
+// gemm_axpy_amd64.go for the dispatch contract). Operand-order note:
+// per element both kernels compute t = a*b then d = d+t, with the same
+// first-source operand the compiled generic kernel uses (b for the
+// multiply, t for the add — verified empirically by the NaN-payload
+// probes in internal/kerneltest), so even NaN-payload propagation — where x86
+// returns the first source's quiet NaN when both operands are NaN —
+// matches the scalar kernels bit for bit. MXCSR is left untouched:
+// round-to-nearest, denormals honored, exactly as compiled Go code runs.
+
+#include "textflag.h"
+
+// func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuid(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// func axpy4ptr(d0, d1, d2, d3, b *float32, n int, a0, a1, a2, a3 float32)
+//
+// Four destination rows advance together through one streamed b row:
+// d·[j] += a· * b[j] for j in [0, n). 8-wide AVX when enabled, 4-wide
+// SSE2 otherwise, scalar tail; every width performs the identical
+// per-element multiply-then-add.
+TEXT ·axpy4ptr(SB), NOSPLIT, $0-64
+	MOVQ d0+0(FP), DI
+	MOVQ d1+8(FP), SI
+	MOVQ d2+16(FP), DX
+	MOVQ d3+24(FP), CX
+	MOVQ b+32(FP), BX
+	MOVQ n+40(FP), AX
+	CMPB ·useAVX(SB), $1
+	JNE  sse_setup
+	CMPQ AX, $8
+	JL   sse_setup
+	VBROADCASTSS a0+48(FP), Y0
+	VBROADCASTSS a1+52(FP), Y1
+	VBROADCASTSS a2+56(FP), Y2
+	VBROADCASTSS a3+60(FP), Y3
+
+avx8:
+	VMOVUPS (BX), Y4
+	VMULPS  Y0, Y4, Y5
+	VMOVUPS (DI), Y6
+	VADDPS  Y6, Y5, Y5
+	VMOVUPS Y5, (DI)
+	VMULPS  Y1, Y4, Y5
+	VMOVUPS (SI), Y6
+	VADDPS  Y6, Y5, Y5
+	VMOVUPS Y5, (SI)
+	VMULPS  Y2, Y4, Y5
+	VMOVUPS (DX), Y6
+	VADDPS  Y6, Y5, Y5
+	VMOVUPS Y5, (DX)
+	VMULPS  Y3, Y4, Y5
+	VMOVUPS (CX), Y6
+	VADDPS  Y6, Y5, Y5
+	VMOVUPS Y5, (CX)
+	ADDQ    $32, BX
+	ADDQ    $32, DI
+	ADDQ    $32, SI
+	ADDQ    $32, DX
+	ADDQ    $32, CX
+	SUBQ    $8, AX
+	CMPQ    AX, $8
+	JGE     avx8
+	VZEROUPPER
+
+sse_setup:
+	MOVSS  a0+48(FP), X0
+	SHUFPS $0, X0, X0
+	MOVSS  a1+52(FP), X1
+	SHUFPS $0, X1, X1
+	MOVSS  a2+56(FP), X2
+	SHUFPS $0, X2, X2
+	MOVSS  a3+60(FP), X3
+	SHUFPS $0, X3, X3
+
+sse4:
+	CMPQ   AX, $4
+	JL     scalar
+	MOVUPS (BX), X4
+	MOVAPS X4, X5
+	MULPS  X0, X5
+	MOVUPS (DI), X6
+	ADDPS  X6, X5
+	MOVUPS X5, (DI)
+	MOVAPS X4, X5
+	MULPS  X1, X5
+	MOVUPS (SI), X6
+	ADDPS  X6, X5
+	MOVUPS X5, (SI)
+	MOVAPS X4, X5
+	MULPS  X2, X5
+	MOVUPS (DX), X6
+	ADDPS  X6, X5
+	MOVUPS X5, (DX)
+	MOVAPS X4, X5
+	MULPS  X3, X5
+	MOVUPS (CX), X6
+	ADDPS  X6, X5
+	MOVUPS X5, (CX)
+	ADDQ   $16, BX
+	ADDQ   $16, DI
+	ADDQ   $16, SI
+	ADDQ   $16, DX
+	ADDQ   $16, CX
+	SUBQ   $4, AX
+	JMP    sse4
+
+scalar:
+	CMPQ  AX, $0
+	JLE   done
+	MOVSS (BX), X4
+	MOVAPS X4, X5
+	MULSS X0, X5
+	MOVSS (DI), X6
+	ADDSS X6, X5
+	MOVSS X5, (DI)
+	MOVAPS X4, X5
+	MULSS X1, X5
+	MOVSS (SI), X6
+	ADDSS X6, X5
+	MOVSS X5, (SI)
+	MOVAPS X4, X5
+	MULSS X2, X5
+	MOVSS (DX), X6
+	ADDSS X6, X5
+	MOVSS X5, (DX)
+	MOVAPS X4, X5
+	MULSS X3, X5
+	MOVSS (CX), X6
+	ADDSS X6, X5
+	MOVSS X5, (CX)
+	ADDQ  $4, BX
+	ADDQ  $4, DI
+	ADDQ  $4, SI
+	ADDQ  $4, DX
+	ADDQ  $4, CX
+	DECQ  AX
+	JMP   scalar
+
+done:
+	RET
+
+// func axpy1ptr(d, b *float32, n int, a float32)
+//
+// Single-row axpy: d[j] += a * b[j] for j in [0, n). Used by the
+// micro-kernel's zero-skip path and its ≤3-row tails.
+TEXT ·axpy1ptr(SB), NOSPLIT, $0-28
+	MOVQ d+0(FP), DI
+	MOVQ b+8(FP), BX
+	MOVQ n+16(FP), AX
+	CMPB ·useAVX(SB), $1
+	JNE  sse_setup1
+	CMPQ AX, $8
+	JL   sse_setup1
+	VBROADCASTSS a+24(FP), Y0
+
+avx8_1:
+	VMOVUPS (BX), Y4
+	VMULPS  Y0, Y4, Y5
+	VMOVUPS (DI), Y6
+	VADDPS  Y6, Y5, Y5
+	VMOVUPS Y5, (DI)
+	ADDQ    $32, BX
+	ADDQ    $32, DI
+	SUBQ    $8, AX
+	CMPQ    AX, $8
+	JGE     avx8_1
+	VZEROUPPER
+
+sse_setup1:
+	MOVSS  a+24(FP), X0
+	SHUFPS $0, X0, X0
+
+sse4_1:
+	CMPQ   AX, $4
+	JL     scalar1
+	MOVUPS (BX), X4
+	MOVAPS X4, X5
+	MULPS  X0, X5
+	MOVUPS (DI), X6
+	ADDPS  X6, X5
+	MOVUPS X5, (DI)
+	ADDQ   $16, BX
+	ADDQ   $16, DI
+	SUBQ   $4, AX
+	JMP    sse4_1
+
+scalar1:
+	CMPQ  AX, $0
+	JLE   done1
+	MOVSS (BX), X4
+	MOVAPS X4, X5
+	MULSS X0, X5
+	MOVSS (DI), X6
+	ADDSS X6, X5
+	MOVSS X5, (DI)
+	ADDQ  $4, BX
+	ADDQ  $4, DI
+	DECQ  AX
+	JMP   scalar1
+
+done1:
+	RET

@@ -1,0 +1,27 @@
+//go:build !amd64
+
+package tensor
+
+// Portable axpy primitives for the vector kernel on architectures
+// without an assembly implementation. The micro-kernel's register
+// blocking still cuts B traffic and loop overhead here; only the SIMD
+// width is missing. Loop bodies keep the exact expression shape of the
+// generic kernel so per-element results are bitwise identical.
+
+// axpy4 accumulates d·[j] += a·*b[j] for four destination rows sharing
+// one streamed b row. All five slices have equal length.
+func axpy4(d0, d1, d2, d3, b []float32, a0, a1, a2, a3 float32) {
+	for j, bv := range b {
+		d0[j] += a0 * bv
+		d1[j] += a1 * bv
+		d2[j] += a2 * bv
+		d3[j] += a3 * bv
+	}
+}
+
+// axpy1 accumulates d[j] += a*b[j]. Both slices have equal length.
+func axpy1(d, b []float32, a float32) {
+	for j, bv := range b {
+		d[j] += a * bv
+	}
+}

@@ -63,11 +63,12 @@ func bitsEqual(t *testing.T, name string, got, want *Matrix) {
 
 // TestMatMulBitwiseMatchesReference sweeps odd shapes, zero-row/col
 // degenerate cases, and exact tile/block boundary sizes, checking the
-// engine against the reference kernel bitwise at several parallelism and
-// block-row settings.
+// engine against the reference kernel bitwise at several parallelism,
+// block-row, and kernel-dispatch settings.
 func TestMatMulBitwiseMatchesReference(t *testing.T) {
 	defer SetParallelism(0)
 	defer SetBlockRows(0)
+	defer SetKernel(KernelAuto)
 	shapes := []struct{ m, k, n int }{
 		{1, 1, 1},
 		{3, 5, 7},                      // odd everything
@@ -88,17 +89,20 @@ func TestMatMulBitwiseMatchesReference(t *testing.T) {
 		b := randMatrix(rng, s.k, s.n)
 		want := New(s.m, s.n)
 		refMatMul(want, a, b)
-		for _, par := range []int{1, 2, 3, 8} {
-			for _, block := range []int{0, 1, 5, 64} {
-				SetParallelism(par)
-				SetBlockRows(block)
-				got := New(s.m, s.n)
-				// Dirty dst: the kernel must fully overwrite, not accumulate.
-				for i := range got.Data {
-					got.Data[i] = float32(math.NaN())
+		for _, kern := range []Kernel{KernelGeneric, KernelVector} {
+			for _, par := range []int{1, 2, 3, 8} {
+				for _, block := range []int{0, 1, 5, 64} {
+					SetKernel(kern)
+					SetParallelism(par)
+					SetBlockRows(block)
+					got := New(s.m, s.n)
+					// Dirty dst: the kernel must fully overwrite, not accumulate.
+					for i := range got.Data {
+						got.Data[i] = float32(math.NaN())
+					}
+					MatMul(got, a, b)
+					bitsEqual(t, fmt.Sprintf("%dx%dx%d kern=%v par=%d block=%d", s.m, s.k, s.n, kern, par, block), got, want)
 				}
-				MatMul(got, a, b)
-				bitsEqual(t, fmt.Sprintf("%dx%dx%d par=%d block=%d", s.m, s.k, s.n, par, block), got, want)
 			}
 		}
 	}

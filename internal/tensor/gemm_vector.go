@@ -1,0 +1,139 @@
+package tensor
+
+// The hand-vectorized GEMM micro-kernel. The generic kernel streams b
+// through one output row at a time, so for an m-row batch every element
+// of b is loaded m times; at the serving shapes (64×418×256) that B
+// traffic, not arithmetic, bounds throughput. The micro-kernel advances
+// four output rows together through one streamed row of b: each loaded
+// b value feeds four independent accumulators held in registers, cutting
+// B traffic 4× and amortizing loop overhead across an unroll-by-4 body
+// the compiler keeps branch-free.
+//
+// Bitwise contract (what lets dispatch swap this in for the generic
+// kernel): every dst element is still one accumulator summed over k in
+// strictly ascending order, and an a value of zero still contributes
+// nothing (the generic kernel's zero-skip — load-bearing for -0.0 and
+// NaN/Inf payloads, where adding 0*bv is not a no-op). The micro-kernel
+// checks the four a values per k step: all nonzero takes the unrolled
+// body, otherwise each nonzero row accumulates alone. Either way each
+// element receives exactly the same float32 operations in the same order
+// as the generic kernel, so results are bitwise identical — the property
+// internal/kerneltest proves across adversarial shapes and payloads.
+
+// gemmRowsVector computes rows [i0, i1) of dst = a×b with the 4-row
+// micro-kernel, falling back to single-row accumulation for the ≤3-row
+// tail. Shape validation happened in matmul.
+func gemmRowsVector(dst, a, b *Matrix, i0, i1 int) {
+	k, n := a.Cols, b.Cols
+	if n <= gemmColBlock {
+		// Streaming path: whole rows of b through four accumulator rows.
+		i := i0
+		for ; i+4 <= i1; i += 4 {
+			zeroRows(dst, i, i+4, 0, n)
+			gemmMicro4(dst, a, b, i, 0, n, 0, k)
+		}
+		for ; i < i1; i++ {
+			zeroRows(dst, i, i+1, 0, n)
+			gemmMicro1(dst, a, b, i, 0, n, 0, k)
+		}
+		return
+	}
+	// Wide outputs: same column/k panel blocking as the generic kernel
+	// (k panels ascend, preserving per-element accumulation order), with
+	// the micro-kernel walking each panel.
+	for jb := 0; jb < n; jb += gemmColBlock {
+		je := jb + gemmColBlock
+		if je > n {
+			je = n
+		}
+		zeroRows(dst, i0, i1, jb, je)
+		for kb := 0; kb < k; kb += gemmKBlock {
+			ke := kb + gemmKBlock
+			if ke > k {
+				ke = k
+			}
+			i := i0
+			for ; i+4 <= i1; i += 4 {
+				gemmMicro4(dst, a, b, i, jb, je, kb, ke)
+			}
+			for ; i < i1; i++ {
+				gemmMicro1(dst, a, b, i, jb, je, kb, ke)
+			}
+		}
+	}
+}
+
+// zeroRows clears dst columns [jb, je) of rows [r0, r1).
+func zeroRows(dst *Matrix, r0, r1, jb, je int) {
+	n := dst.Cols
+	for r := r0; r < r1; r++ {
+		drow := dst.Data[r*n+jb : r*n+je]
+		for x := range drow {
+			drow[x] = 0
+		}
+	}
+}
+
+// gemmMicro4 accumulates the 4-row micro tile: dst rows i..i+3 over
+// columns [jb, je) and the k range [kb, ke). The destination rows must
+// already be zeroed (or hold the lower k panels' partial sums).
+func gemmMicro4(dst, a, b *Matrix, i, jb, je, kb, ke int) {
+	k, n := a.Cols, b.Cols
+	w := je - jb
+	if w <= 0 {
+		return
+	}
+	a0 := a.Data[i*k : (i+1)*k]
+	a1 := a.Data[(i+1)*k : (i+2)*k]
+	a2 := a.Data[(i+2)*k : (i+3)*k]
+	a3 := a.Data[(i+3)*k : (i+4)*k]
+	// Reslice all five rows to the shared width so the compiler can prove
+	// d·[j] in-bounds from j < len(brow) and drop the bounds checks.
+	d0 := dst.Data[i*n+jb:][:w]
+	d1 := dst.Data[(i+1)*n+jb:][:w]
+	d2 := dst.Data[(i+2)*n+jb:][:w]
+	d3 := dst.Data[(i+3)*n+jb:][:w]
+	for p := kb; p < ke; p++ {
+		av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+		brow := b.Data[p*n+jb:][:w]
+		if av0 != 0 && av1 != 0 && av2 != 0 && av3 != 0 {
+			axpy4(d0, d1, d2, d3, brow, av0, av1, av2, av3)
+			continue
+		}
+		// Zero-skip tail: only rows with a nonzero a value accumulate,
+		// exactly as the generic kernel skips them. Row order here is
+		// free — the four rows are disjoint accumulators.
+		if av0 != 0 {
+			axpy1(d0, brow, av0)
+		}
+		if av1 != 0 {
+			axpy1(d1, brow, av1)
+		}
+		if av2 != 0 {
+			axpy1(d2, brow, av2)
+		}
+		if av3 != 0 {
+			axpy1(d3, brow, av3)
+		}
+	}
+}
+
+// gemmMicro1 is the single-row tail of the micro-kernel — the same loop
+// body as the generic kernel's panel pass, kept here so the vector path
+// never calls across into the generic kernel mid-row-range.
+func gemmMicro1(dst, a, b *Matrix, i, jb, je, kb, ke int) {
+	k, n := a.Cols, b.Cols
+	w := je - jb
+	if w <= 0 {
+		return
+	}
+	arow := a.Data[i*k : (i+1)*k]
+	drow := dst.Data[i*n+jb:][:w]
+	for p := kb; p < ke; p++ {
+		av := arow[p]
+		if av == 0 {
+			continue
+		}
+		axpy1(drow, b.Data[p*n+jb:][:w], av)
+	}
+}
