@@ -1,0 +1,123 @@
+// Command repolint runs the repo's custom analyzer suite — the
+// mechanized form of the correctness invariants DESIGN.md prescribes:
+// determinism in the scoring/planning packages, nil-safe obs handles,
+// lock discipline, and goroutine lifecycle hygiene.
+//
+// Usage:
+//
+//	go run ./cmd/repolint ./...
+//
+// Findings print as file:line:col: [analyzer] message, one per line,
+// and the exit status is 1 when anything is found, 2 on driver error.
+// Deliberate exceptions are suppressed in source with
+// //lint:allow <analyzer> <reason> on (or directly above) the flagged
+// line; repolint itself rejects directives with no reason, naming an
+// unknown analyzer, or suppressing nothing.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/goroutinelifecycle"
+	"repro/internal/analysis/lockdiscipline"
+	"repro/internal/analysis/nilsafeobs"
+)
+
+// analyzers is the full suite, in report order.
+var analyzers = []*analysis.Analyzer{
+	determinism.Analyzer,
+	nilsafeobs.Analyzer,
+	lockdiscipline.Analyzer,
+	goroutinelifecycle.Analyzer,
+}
+
+// deterministicPkgs are the packages whose outputs must be
+// reproducible bit-for-bit: kernels, quantization, embedding readers,
+// shard planning, and the core scoring path. The determinism analyzer
+// runs only here — frontends and telemetry are allowed wall clocks.
+var deterministicPkgs = []string{
+	"repro/internal/tensor",
+	"repro/internal/quant",
+	"repro/internal/embedding",
+	"repro/internal/sharding",
+	"repro/internal/core",
+}
+
+// obsPkgs are where nil-safe handle types live.
+var obsPkgs = []string{
+	"repro/internal/obs",
+}
+
+// scope decides which analyzers run on which packages.
+func scope(a *analysis.Analyzer, pkgPath string) bool {
+	switch a.Name {
+	case determinism.Analyzer.Name:
+		return underAny(pkgPath, deterministicPkgs)
+	case nilsafeobs.Analyzer.Name:
+		return underAny(pkgPath, obsPkgs)
+	default:
+		return true
+	}
+}
+
+// underAny reports whether pkgPath is one of the prefixes or nested
+// below one.
+func underAny(pkgPath string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// lint loads patterns relative to dir, runs the suite, and writes
+// findings to w. It returns the number of findings.
+func lint(dir string, patterns []string, w io.Writer) (int, error) {
+	pkgs, err := analysis.Load(dir, patterns...)
+	if err != nil {
+		return 0, err
+	}
+	findings, err := analysis.Run(pkgs, analyzers, scope)
+	if err != nil {
+		return 0, err
+	}
+	for _, f := range findings {
+		fmt.Fprintln(w, formatFinding(dir, f))
+	}
+	return len(findings), nil
+}
+
+// formatFinding renders one finding as file:line:col: [analyzer]
+// message, with the file path relative to dir when possible.
+func formatFinding(dir string, f analysis.Finding) string {
+	name := f.Pos.Filename
+	if abs, err := filepath.Abs(dir); err == nil {
+		if rel, err := filepath.Rel(abs, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", name, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	n, err := lint(".", patterns, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "repolint:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}

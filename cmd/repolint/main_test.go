@@ -1,0 +1,136 @@
+package main
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// TestLintSmoke drives the whole main path — load, scope, run, format —
+// over a throwaway module containing one violation and one clean file.
+func TestLintSmoke(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module smoke\n\ngo 1.23\n")
+	write("bad.go", `package smoke
+
+import "time"
+
+func Poll(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(time.Second):
+		}
+	}
+}
+`)
+	write("ok.go", `package smoke
+
+func Sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+`)
+
+	var out strings.Builder
+	n, err := lint(dir, []string{"./..."}, &out)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if n != 1 {
+		t.Fatalf("want 1 finding, got %d:\n%s", n, out.String())
+	}
+	got := strings.TrimSpace(out.String())
+	want := "bad.go:10:10: [goroutinelifecycle] time.After in a loop"
+	if !strings.HasPrefix(got, want) {
+		t.Fatalf("finding = %q, want prefix %q", got, want)
+	}
+}
+
+// TestLintCleanModule verifies the zero-findings path returns 0 and
+// writes nothing.
+func TestLintCleanModule(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module clean\n\ngo 1.23\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "c.go"), []byte("package clean\n\nfunc F() int { return 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	n, err := lint(dir, []string{"./..."}, &out)
+	if err != nil {
+		t.Fatalf("lint: %v", err)
+	}
+	if n != 0 || out.Len() != 0 {
+		t.Fatalf("want clean run, got %d findings:\n%s", n, out.String())
+	}
+}
+
+func TestScope(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		pkg      string
+		want     bool
+	}{
+		{"determinism", "repro/internal/tensor", true},
+		{"determinism", "repro/internal/sharding", true},
+		{"determinism", "repro/internal/core", true},
+		{"determinism", "repro/internal/frontend", false},
+		{"determinism", "repro/internal/obs", false},
+		{"nilsafeobs", "repro/internal/obs", true},
+		{"nilsafeobs", "repro/internal/core", false},
+		{"lockdiscipline", "repro/internal/rpc", true},
+		{"goroutinelifecycle", "repro/cmd/served", true},
+	}
+	for _, c := range cases {
+		var a *analysis.Analyzer
+		for _, cand := range analyzers {
+			if cand.Name == c.analyzer {
+				a = cand
+			}
+		}
+		if a == nil {
+			t.Fatalf("unknown analyzer %q", c.analyzer)
+		}
+		if got := scope(a, c.pkg); got != c.want {
+			t.Errorf("scope(%s, %s) = %v, want %v", c.analyzer, c.pkg, got, c.want)
+		}
+	}
+}
+
+func TestFormatFinding(t *testing.T) {
+	abs, err := filepath.Abs(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := analysis.Finding{
+		Analyzer: "determinism",
+		Pos:      token.Position{Filename: filepath.Join(abs, "sub", "x.go"), Line: 4, Column: 2},
+		Message:  "map iteration order reaches the return value",
+	}
+	got := formatFinding(".", f)
+	want := "sub/x.go:4:2: [determinism] map iteration order reaches the return value"
+	if got != want {
+		t.Errorf("formatFinding = %q, want %q", got, want)
+	}
+	// A file outside dir keeps its absolute path.
+	f.Pos.Filename = "/elsewhere/y.go"
+	if got := formatFinding(".", f); !strings.HasPrefix(got, "/elsewhere/y.go:") {
+		t.Errorf("out-of-dir finding = %q, want absolute path kept", got)
+	}
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive:
+//
+//	//lint:allow <analyzer> <reason>
+//
+// placed on the flagged line (trailing) or on the line directly above.
+// The reason is mandatory — the driver turns a reasonless, unknown, or
+// unused directive into a finding of its own, so every allowlist entry
+// in the tree is explained and load-bearing.
+const allowPrefix = "//lint:allow"
+
+// AllowAnalyzerName tags directive-hygiene findings in driver output.
+const AllowAnalyzerName = "allowdirective"
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	pos      token.Position // of the comment itself
+	analyzer string
+	reason   string
+	used     bool
+}
+
+// collectAllows parses every //lint:allow directive in the package's
+// files. Malformed directives (no analyzer name at all) are returned
+// as-is with an empty analyzer and flagged later.
+func collectAllows(pkgs []*Package) []*allowDirective {
+	var out []*allowDirective
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					fields := strings.Fields(rest)
+					d := &allowDirective{pos: pkg.Fset.Position(c.Pos())}
+					if len(fields) > 0 {
+						d.analyzer = fields[0]
+						d.reason = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), fields[0]))
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// suppresses reports whether directive d covers a finding at pos from
+// the named analyzer: same file, same line or the line below the
+// directive.
+func (d *allowDirective) suppresses(analyzer string, pos token.Position) bool {
+	return d.analyzer == analyzer &&
+		d.pos.Filename == pos.Filename &&
+		(d.pos.Line == pos.Line || d.pos.Line+1 == pos.Line)
+}

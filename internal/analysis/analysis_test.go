@@ -1,0 +1,236 @@
+package analysis
+
+import (
+	"go/ast"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule lays out a throwaway module and returns its root.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// returnCounter flags every return statement: a trivially predictable
+// analyzer for driving the runner.
+var returnCounter = &Analyzer{
+	Name: "returncounter",
+	Doc:  "flags every return statement",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if r, ok := n.(*ast.ReturnStmt); ok {
+					pass.Report(Diagnostic{Pos: r.Pos(), Message: "return statement"})
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestLoadResolvesDepsFromExportData(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module m\n\ngo 1.23\n",
+		"lib/lib.go": `package lib
+
+func Double(x int) int { return 2 * x }
+`,
+		"main.go": `package main
+
+import (
+	"fmt"
+
+	"m/lib"
+)
+
+func main() { fmt.Println(lib.Double(21)) }
+`,
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(pkgs))
+	}
+	// Sorted by import path: "m" before "m/lib".
+	if pkgs[0].PkgPath != "m" || pkgs[1].PkgPath != "m/lib" {
+		t.Fatalf("got %s, %s", pkgs[0].PkgPath, pkgs[1].PkgPath)
+	}
+	for _, p := range pkgs {
+		if p.Types == nil || p.Info == nil || len(p.Files) == 0 {
+			t.Fatalf("%s: incomplete package", p.PkgPath)
+		}
+	}
+	// Type info must be populated: the fmt.Println use in main resolves
+	// through fmt's export data.
+	main := pkgs[0]
+	if len(main.Info.Uses) == 0 {
+		t.Fatal("no Uses recorded for package main")
+	}
+}
+
+func TestLoadDefaultsToAllPackages(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module d\n\ngo 1.23\n",
+		"d.go":   "package d\n\nfunc F() int { return 1 }\n",
+	})
+	pkgs, err := Load(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].PkgPath != "d" {
+		t.Fatalf("Load() = %v", pkgs)
+	}
+}
+
+func TestLoadReportsTypeErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module t\n\ngo 1.23\n",
+		"t.go":   "package t\n\nfunc F() int { return \"not an int\" }\n",
+	})
+	if _, err := Load(dir, "./..."); err == nil {
+		t.Fatal("Load accepted a package that does not type-check")
+	}
+}
+
+func TestLoadReportsParseErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module p\n\ngo 1.23\n",
+		"p.go":   "package p\n\nfunc F( {\n",
+	})
+	if _, err := Load(dir, "./..."); err == nil {
+		t.Fatal("Load accepted a package that does not parse")
+	}
+}
+
+func TestRunSuppressionAndDirectiveHygiene(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module s\n\ngo 1.23\n",
+		"s.go": `package s
+
+func suppressedTrailing() int {
+	return 1 //lint:allow returncounter documented exception
+}
+
+func suppressedAbove() int {
+	//lint:allow returncounter directive on the line above counts too
+	return 2
+}
+
+func unsuppressed() int {
+	return 3
+}
+
+func hygiene() {
+	//lint:allow
+	//lint:allow nosuchanalyzer reason for an unknown analyzer
+	//lint:allow returncounter
+	_ = 0
+}
+
+//lint:allow returncounter nothing on the next line returns
+var x = 4
+`,
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := Run(pkgs, []*Analyzer{returnCounter}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var msgs []string
+	for _, f := range findings {
+		msgs = append(msgs, f.Analyzer+": "+f.Message)
+	}
+	joined := strings.Join(msgs, "\n")
+	for _, want := range []string{
+		"returncounter: return statement",         // the unsuppressed return
+		"malformed //lint:allow directive",        // bare directive
+		`names unknown analyzer "nosuchanalyzer"`, // unknown analyzer
+		"has no reason",                           // reasonless
+		"suppresses nothing",                      // unused
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("findings missing %q:\n%s", want, joined)
+		}
+	}
+	// Exactly one returncounter finding: both suppressed returns stayed
+	// suppressed.
+	count := 0
+	for _, f := range findings {
+		if f.Analyzer == returnCounter.Name {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("%d returncounter findings, want 1:\n%s", count, joined)
+	}
+	// Findings come back sorted by position.
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1].Pos, findings[i].Pos
+		if a.Filename == b.Filename && a.Line > b.Line {
+			t.Errorf("findings unsorted: line %d before %d", a.Line, b.Line)
+		}
+	}
+}
+
+func TestRunFilterScopesAnalyzers(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module f\n\ngo 1.23\n",
+		"f.go":   "package f\n\nfunc F() int { return 1 }\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	none := func(a *Analyzer, pkgPath string) bool { return false }
+	findings, err := Run(pkgs, []*Analyzer{returnCounter}, none)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("filtered-out analyzer still reported: %v", findings)
+	}
+}
+
+func TestRunPropagatesAnalyzerErrors(t *testing.T) {
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module e\n\ngo 1.23\n",
+		"e.go":   "package e\n\nfunc F() int { return 1 }\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := &Analyzer{
+		Name: "boom",
+		Doc:  "always fails",
+		Run:  func(pass *Pass) error { return os.ErrInvalid },
+	}
+	if _, err := Run(pkgs, []*Analyzer{boom}, nil); err == nil {
+		t.Fatal("analyzer error did not propagate")
+	}
+}
+
+func TestLoadRejectsUnknownDirectory(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope"), "./..."); err == nil {
+		t.Fatal("Load accepted a nonexistent directory")
+	}
+}

@@ -1,0 +1,131 @@
+// Package analysistest runs an analyzer over a testdata package and
+// checks its diagnostics against expectations written in the source —
+// the same convention as golang.org/x/tools' analysistest, implemented
+// on the repo's dependency-free driver.
+//
+// An expectation is a comment on the flagged line:
+//
+//	rand.Int() // want `global math/rand`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match exactly one diagnostic reported on that
+// line of that file. Diagnostics with no matching expectation, and
+// expectations with no matching diagnostic, fail the test.
+//
+// Testdata packages live under testdata/src/<name>/ with their own
+// go.mod (module <name>), so the loader's `go list` resolves them as a
+// tiny standalone module.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// expectation is one want-pattern at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run loads the package rooted at testdata/src/<pkg> under dir, applies
+// the analyzer through the shared driver (so //lint:allow directives
+// and their hygiene findings behave exactly as in repolint), and
+// compares diagnostics against // want comments.
+func Run(t *testing.T, dir, pkg string, a *analysis.Analyzer) {
+	t.Helper()
+	root := filepath.Join(dir, "testdata", "src", pkg)
+	pkgs, err := analysis.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading %s: %v", root, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages under %s", root)
+	}
+	findings, err := analysis.Run(pkgs, []*analysis.Analyzer{a}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					wants = append(wants, parseWants(t, p, c)...)
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		if !claim(wants, f) {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWants extracts want-expectations from one comment.
+func parseWants(t *testing.T, p *analysis.Package, c *ast.Comment) []*expectation {
+	text := strings.TrimPrefix(c.Text, "//")
+	text = strings.TrimSpace(text)
+	if !strings.HasPrefix(text, "want ") {
+		return nil
+	}
+	pos := p.Fset.Position(c.Pos())
+	var out []*expectation
+	for _, m := range wantRE.FindAllStringSubmatch(text[len("want "):], -1) {
+		src := m[1]
+		if src == "" {
+			src = m[2]
+		}
+		re, err := regexp.Compile(src)
+		if err != nil {
+			t.Fatalf("%s: bad want pattern %q: %v", pos, src, err)
+		}
+		out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+	}
+	if len(out) == 0 {
+		t.Fatalf("%s: want comment with no patterns", pos)
+	}
+	return out
+}
+
+// claim marks the first unmatched expectation covering the finding.
+func claim(wants []*expectation, f analysis.Finding) bool {
+	for _, w := range wants {
+		if w.matched || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+			continue
+		}
+		if w.pattern.MatchString(f.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Fprint is a debugging helper: it renders findings one per line in
+// repolint's output format.
+func Fprint(findings []analysis.Finding) string {
+	var b strings.Builder
+	for _, f := range findings {
+		fmt.Fprintf(&b, "%s: [%s] %s\n", f.Pos, f.Analyzer, f.Message)
+	}
+	return b.String()
+}

@@ -1,0 +1,287 @@
+// Package determinism flags constructs that can make output depend on
+// Go's randomized map iteration order, the wall clock, or the global
+// math/rand source. It runs over the packages whose results must be
+// byte-identical across runs, reshardings, and kernel switches (tensor,
+// quant, embedding, sharding, core — cmd/repolint scopes it).
+//
+// A `for … range m` over a map is fine when the loop only performs
+// order-independent work: inserting into another map, integer
+// accumulation, or building a key slice that is sorted before use. It
+// is flagged when iteration order can reach an ordered sink:
+//
+//   - a return executed mid-iteration (which entry wins depends on
+//     order — classically, which validation error a caller sees);
+//   - an append whose slice is never sorted afterwards in the same
+//     function;
+//   - an encode/write call (bytes leave in iteration order);
+//   - floating-point accumulation (addition is not associative, so
+//     even a commutative-looking sum is order-dependent).
+//
+// Wall-clock reads (time.Now and friends) and global math/rand
+// functions are flagged outright; seeded *rand.Rand constructors
+// (rand.New(rand.NewSource(k))) are allowed, since a fixed seed is how
+// deterministic synthetic data is meant to be produced. Telemetry
+// timing in scoring packages is legitimate — annotate those sites with
+// //lint:allow determinism <reason>.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "flags map-iteration-order-dependent output, wall-clock reads, and global math/rand use in deterministic packages",
+	Run:  run,
+}
+
+// clockFuncs are the time-package functions that read the wall clock or
+// allocate wall-clock-driven timers.
+var clockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"After": true, "Tick": true, "NewTimer": true, "NewTicker": true, "AfterFunc": true,
+}
+
+// randConstructors are the math/rand functions that build an explicitly
+// seeded generator — the deterministic way to use the package.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, fn := range functionBodies(file) {
+			checkBody(pass, fn)
+		}
+	}
+	return nil
+}
+
+// functionBodies returns every function body in the file: declarations
+// and literals, each analyzed as its own scope (a return inside a
+// closure is not a return of the enclosing function).
+func functionBodies(file *ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				out = append(out, n.Body)
+			}
+		case *ast.FuncLit:
+			out = append(out, n.Body)
+		}
+		return true
+	})
+	return out
+}
+
+// checkBody inspects one function body, not descending into nested
+// function literals (they appear in functionBodies on their own).
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	inspectShallow(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if isMapType(pass.Info.TypeOf(n.X)) {
+				checkMapRange(pass, body, n)
+			}
+		case *ast.CallExpr:
+			checkClockAndRand(pass, n)
+		}
+	})
+}
+
+// inspectShallow walks n calling f on every node, skipping nested
+// function literals.
+func inspectShallow(n ast.Node, f func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			f(n)
+		}
+		return true
+	})
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// checkMapRange looks for ordered sinks inside a range-over-map body.
+func checkMapRange(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt) {
+	inspectShallow(rng.Body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			pass.Report(analysis.Diagnostic{Pos: n.Pos(),
+				Message: "return inside map iteration: which entry returns first depends on map order; iterate sorted keys"})
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, fnBody, rng, n)
+		case *ast.CallExpr:
+			if name, ok := calleeName(n); ok && isEncoderName(name) {
+				pass.Report(analysis.Diagnostic{Pos: n.Pos(),
+					Message: "encoding/writing during map iteration emits bytes in map order; iterate sorted keys"})
+			}
+		}
+	})
+}
+
+// checkMapRangeAssign flags order-dependent accumulation inside a
+// map-range body: float op-assign, and appends never sorted afterwards.
+func checkMapRangeAssign(pass *analysis.Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		for _, lhs := range as.Lhs {
+			if isFloat(pass.Info.TypeOf(lhs)) {
+				pass.Report(analysis.Diagnostic{Pos: as.Pos(),
+					Message: "floating-point accumulation over map iteration is order-dependent; iterate sorted keys"})
+				return
+			}
+		}
+	case token.ASSIGN, token.DEFINE:
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(pass, call) || i >= len(as.Lhs) {
+				continue
+			}
+			dst, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				pass.Report(analysis.Diagnostic{Pos: as.Pos(),
+					Message: "append during map iteration builds a map-ordered slice; append to a local and sort it"})
+				continue
+			}
+			obj := pass.Info.Uses[dst]
+			if obj == nil {
+				obj = pass.Info.Defs[dst]
+			}
+			if obj == nil || !sortedAfter(pass, fnBody, rng.End(), obj) {
+				pass.Report(analysis.Diagnostic{Pos: as.Pos(),
+					Message: "append during map iteration builds a map-ordered slice never sorted in this function; sort it before use"})
+			}
+		}
+	}
+}
+
+// sortedAfter reports whether a call into package sort or slices that
+// mentions obj appears after pos inside body — the sorted-keys idiom.
+func sortedAfter(pass *analysis.Pass, body *ast.BlockStmt, pos token.Pos, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos || found {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || !isPackageName(pass, pkg, "sort", "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && pass.Info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// checkClockAndRand flags wall-clock reads and global math/rand use.
+func checkClockAndRand(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.Info.Uses[pkg].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch pn.Imported().Path() {
+	case "time":
+		if clockFuncs[sel.Sel.Name] {
+			pass.Report(analysis.Diagnostic{Pos: call.Pos(),
+				Message: "wall-clock read (time." + sel.Sel.Name + ") in a deterministic package"})
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			pass.Report(analysis.Diagnostic{Pos: call.Pos(),
+				Message: "global math/rand source (rand." + sel.Sel.Name + ") is schedule-dependent; use a seeded *rand.Rand"})
+		}
+	}
+}
+
+func calleeName(call *ast.CallExpr) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name, true
+	case *ast.SelectorExpr:
+		return fun.Sel.Name, true
+	}
+	return "", false
+}
+
+// isEncoderName matches callee names that serialize or emit output.
+func isEncoderName(name string) bool {
+	for _, prefix := range []string{"Encode", "Marshal", "Write", "Fprint", "Print"} {
+		if len(name) >= len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	if !ok {
+		if t == nil {
+			return false
+		}
+		b, ok = t.Underlying().(*types.Basic)
+		if !ok {
+			return false
+		}
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+func isPackageName(pass *analysis.Pass, id *ast.Ident, names ...string) bool {
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	for _, n := range names {
+		if pn.Imported().Path() == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,138 @@
+// Package a exercises the determinism analyzer: ordered sinks inside
+// map iteration, wall-clock reads, and global math/rand use, next to
+// near-miss negatives that follow the sorted-keys idiom.
+package a
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// keysUnsorted builds a map-ordered slice and never sorts it.
+func keysUnsorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k) // want `append during map iteration builds a map-ordered slice never sorted`
+	}
+	return out
+}
+
+// keysSorted is the canonical idiom: collect, then sort. Not flagged.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// firstError returns whichever entry the runtime happens to visit
+// first — the classic nondeterministic-validation-error bug.
+func firstError(m map[string]int) error {
+	for k, v := range m {
+		if v < 0 {
+			return fmt.Errorf("bad %s", k) // want `return inside map iteration`
+		}
+	}
+	return nil
+}
+
+// checkedOutside hoists the return out of the loop. Not flagged.
+func checkedOutside(m map[string]int) error {
+	bad := false
+	for _, v := range m {
+		if v < 0 {
+			bad = true
+		}
+	}
+	if bad {
+		return fmt.Errorf("bad entry")
+	}
+	return nil
+}
+
+// floatSum accumulates float32 in map order: not associative.
+func floatSum(m map[string]float32) float32 {
+	var s float32
+	for _, v := range m {
+		s += v // want `floating-point accumulation over map iteration`
+	}
+	return s
+}
+
+// intSum is commutative and exact. Not flagged.
+func intSum(m map[string]int64) int64 {
+	var s int64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// encodeInOrder serializes entries as they come.
+func encodeInOrder(m map[string]int) []byte {
+	var out []byte
+	for k := range m {
+		b, _ := json.Marshal(k) // want `encoding/writing during map iteration`
+		out = append(out, b...) // want `append during map iteration`
+	}
+	return out
+}
+
+// reindex inserts into another map: order-independent. Not flagged.
+func reindex(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// stamp reads the wall clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want `wall-clock read \(time.Now\)`
+}
+
+// elapsed measures with the clock too.
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read \(time.Since\)`
+}
+
+// durationsOnly manipulates durations without reading the clock. Not
+// flagged.
+func durationsOnly(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond)
+}
+
+// globalRand draws from the process-wide source.
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand source \(rand.Intn\)`
+}
+
+// seededRand builds an explicitly seeded generator. Not flagged.
+func seededRand(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// allowed documents a deliberate clock read; the driver suppresses it.
+func allowed() int64 {
+	//lint:allow determinism telemetry timestamp, never reaches scores
+	return time.Now().UnixNano()
+}
+
+// closureReturn: a return inside a closure inside a map range is the
+// closure's return, not the loop's. Not flagged.
+func closureReturn(m map[string]int) []func() int {
+	fns := make([]func() int, 0, len(m))
+	for _, v := range m {
+		v := v
+		fns = append(fns, func() int { return v })
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i]() < fns[j]() })
+	return fns
+}

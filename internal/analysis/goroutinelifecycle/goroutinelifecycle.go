@@ -1,0 +1,272 @@
+// Package goroutinelifecycle enforces goroutine ownership rules:
+//
+//  1. `time.After` must not be called inside a loop: every iteration
+//     allocates a timer that is not collected until it fires, which
+//     under steady load is an unbounded leak. Use a reusable
+//     time.NewTimer with Reset — the batcher's gather timer is the
+//     house idiom.
+//
+//  2. A goroutine spawned from a method of a long-lived type — one
+//     with a Close, Stop, or Shutdown method — must be tied to that
+//     lifecycle: its body (or a same-package function it calls) has to
+//     receive from or range over a channel, watch a context.Context,
+//     or participate in a sync.WaitGroup. A spawn whose body shows
+//     none of those (or is declared in another package, where the
+//     analyzer cannot look) is flagged; if the goroutine's exit is
+//     guaranteed some other way — a connection read loop unblocked by
+//     Close tearing the conn down, say — document it with
+//     //lint:allow goroutinelifecycle <reason>.
+package goroutinelifecycle
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the goroutine-lifecycle checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinelifecycle",
+	Doc:  "goroutines of closeable types must be tied to a stop channel, context, or WaitGroup; no time.After in loops",
+	Run:  run,
+}
+
+// closerMethods mark a type as long-lived.
+var closerMethods = map[string]bool{"Close": true, "Stop": true, "Shutdown": true}
+
+func run(pass *analysis.Pass) error {
+	funcs := packageFuncs(pass)
+	for _, file := range pass.Files {
+		checkTimeAfterInLoops(pass, file)
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Recv == nil {
+				continue
+			}
+			if !receiverIsCloser(pass, fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !spawnOwned(pass, funcs, g.Call) {
+					pass.Report(analysis.Diagnostic{Pos: g.Pos(),
+						Message: "goroutine spawned by a closeable type is not tied to a stop channel, context, or WaitGroup"})
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkTimeAfterInLoops flags time.After calls lexically inside a
+// for/range statement of the same function.
+func checkTimeAfterInLoops(pass *analysis.Pass, file *ast.File) {
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			walkChildren(n.Body, true, walk)
+			return
+		case *ast.RangeStmt:
+			walkChildren(n.Body, true, walk)
+			return
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				walkChildren(n.Body, false, walk)
+			}
+			return
+		case *ast.FuncLit:
+			// A literal's loop context resets: its body runs wherever
+			// the closure is called, and spawning one per loop
+			// iteration is fine.
+			walkChildren(n.Body, false, walk)
+			return
+		case *ast.CallExpr:
+			if inLoop && isTimeAfter(pass, n) {
+				pass.Report(analysis.Diagnostic{Pos: n.Pos(),
+					Message: "time.After in a loop allocates a timer per iteration (leak under load); use a reusable time.NewTimer with Reset"})
+			}
+		}
+		walkChildren(n, inLoop, walk)
+	}
+	walk(file, false)
+}
+
+// walkChildren applies walk to n's immediate children with the given
+// loop context.
+func walkChildren(n ast.Node, inLoop bool, walk func(ast.Node, bool)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			walk(c, inLoop)
+		}
+		return false
+	})
+}
+
+func isTimeAfter(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "After" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "time"
+}
+
+// receiverIsCloser reports whether the method's receiver type declares
+// a Close/Stop/Shutdown method.
+func receiverIsCloser(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	if len(fd.Recv.List) != 1 {
+		return false
+	}
+	t := pass.Info.TypeOf(fd.Recv.List[0].Type)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	for i := 0; i < named.NumMethods(); i++ {
+		if closerMethods[named.Method(i).Name()] {
+			return true
+		}
+	}
+	return false
+}
+
+// spawnOwned reports whether the spawned call's body shows lifecycle
+// ownership. Cross-package callees are opaque and count as unowned.
+func spawnOwned(pass *analysis.Pass, funcs map[types.Object]*ast.FuncDecl, call *ast.CallExpr) bool {
+	body := calleeBody(pass, funcs, call.Fun)
+	if body == nil {
+		return false
+	}
+	return hasLifecycleEvidence(pass, funcs, body, 0)
+}
+
+func calleeBody(pass *analysis.Pass, funcs map[types.Object]*ast.FuncDecl, fn ast.Expr) *ast.BlockStmt {
+	switch fn := fn.(type) {
+	case *ast.FuncLit:
+		return fn.Body
+	case *ast.Ident:
+		if fd := funcs[pass.Info.Uses[fn]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.SelectorExpr:
+		if fd := funcs[pass.Info.Uses[fn.Sel]]; fd != nil {
+			return fd.Body
+		}
+	case *ast.ParenExpr:
+		return calleeBody(pass, funcs, fn.X)
+	}
+	return nil
+}
+
+// hasLifecycleEvidence looks for a channel receive/range, a
+// context.Context use, or WaitGroup participation in body or one level
+// of same-package callees.
+func hasLifecycleEvidence(pass *analysis.Pass, funcs map[types.Object]*ast.FuncDecl, body *ast.BlockStmt, depth int) bool {
+	if depth > 3 {
+		return false
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if isChan(pass.Info.TypeOf(n.X)) {
+				found = true
+			}
+		case *ast.Ident:
+			if isContext(pass.Info.TypeOf(n)) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if isWaitGroup(pass.Info.TypeOf(sel.X)) &&
+					(sel.Sel.Name == "Done" || sel.Sel.Name == "Wait") {
+					found = true
+					return false
+				}
+			}
+			if b := calleeBody(pass, funcs, n.Fun); b != nil && b != body {
+				if hasLifecycleEvidence(pass, funcs, b, depth+1) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func isWaitGroup(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// packageFuncs indexes function and method declarations by object.
+func packageFuncs(pass *analysis.Pass) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				out[pass.Info.Defs[fd.Name]] = fd
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package goroutinelifecycle_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/goroutinelifecycle"
+)
+
+func TestGoroutineLifecycle(t *testing.T) {
+	analysistest.Run(t, ".", "g", goroutinelifecycle.Analyzer)
+}

@@ -1,0 +1,161 @@
+// Package g exercises the goroutinelifecycle analyzer: goroutines of
+// closeable types must show a stop channel, context, or WaitGroup, and
+// time.After must stay out of loops.
+package g
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Server is long-lived: it has a Close method, so its goroutines are
+// held to the lifecycle rule.
+type Server struct {
+	stop chan struct{}
+	work chan int
+	wg   sync.WaitGroup
+}
+
+// Close tears the server down.
+func (s *Server) Close() {
+	close(s.stop)
+	s.wg.Wait()
+}
+
+// StartSelect spawns a loop that watches the stop channel. Not flagged.
+func (s *Server) StartSelect() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case v := <-s.work:
+				_ = v
+			}
+		}
+	}()
+}
+
+// StartRange drains the work channel until it closes. Not flagged.
+func (s *Server) StartRange() {
+	go func() {
+		for v := range s.work {
+			_ = v
+		}
+	}()
+}
+
+// StartCtx watches a context. Not flagged.
+func (s *Server) StartCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// StartWG participates in the WaitGroup. Not flagged.
+func (s *Server) StartWG() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+	}()
+}
+
+// runLoop is the named body StartNamed spawns; it receives from the
+// stop channel, so the spawn is owned. Not flagged.
+func (s *Server) runLoop() {
+	<-s.stop
+}
+
+// StartNamed spawns a same-package method whose body is visible. Not
+// flagged.
+func (s *Server) StartNamed() {
+	go s.runLoop()
+}
+
+// StartOrphan spawns a free-running loop with no stop signal.
+func (s *Server) StartOrphan() {
+	go func() { // want `goroutine spawned by a closeable type is not tied to a stop channel, context, or WaitGroup`
+		for {
+			fmt.Println("tick")
+		}
+	}()
+}
+
+// spin never consults the lifecycle.
+func spin() {
+	for {
+	}
+}
+
+// StartOrphanNamed spawns a named function with no lifecycle evidence.
+func (s *Server) StartOrphanNamed() {
+	go spin() // want `goroutine spawned by a closeable type is not tied to a stop channel, context, or WaitGroup`
+}
+
+// StartOpaque spawns a cross-package callee the analyzer cannot see
+// into.
+func (s *Server) StartOpaque() {
+	go fmt.Println("bye") // want `goroutine spawned by a closeable type is not tied to a stop channel, context, or WaitGroup`
+}
+
+// StartAllowed documents a deliberate exception: the goroutine exits
+// when Close tears down the underlying resource.
+func (s *Server) StartAllowed() {
+	//lint:allow goroutinelifecycle exits when Close tears down the conn
+	go spin()
+}
+
+// oneShot is short-lived — no Close method — so its spawns are exempt.
+type oneShot struct{}
+
+func (o oneShot) fire() {
+	go spin()
+}
+
+// pollAfter allocates a timer every iteration.
+func (s *Server) pollAfter() {
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(time.Second): // want `time.After in a loop allocates a timer per iteration`
+		}
+	}
+}
+
+// pollTimer reuses one timer across iterations. Not flagged.
+func (s *Server) pollTimer() {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			t.Reset(time.Second)
+		}
+	}
+}
+
+// afterOutsideLoop uses time.After once, outside any loop. Not flagged.
+func afterOutsideLoop(stop chan struct{}) {
+	select {
+	case <-stop:
+	case <-time.After(time.Second):
+	}
+}
+
+// litResetsLoopContext spawns a closure per iteration; the closure body
+// is not "in" the loop. Not flagged.
+func litResetsLoopContext(done chan struct{}) {
+	for i := 0; i < 3; i++ {
+		func() {
+			select {
+			case <-done:
+			case <-time.After(time.Millisecond):
+			}
+		}()
+	}
+}

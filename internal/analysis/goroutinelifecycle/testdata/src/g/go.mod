@@ -1,0 +1,3 @@
+module g
+
+go 1.23

@@ -1,0 +1,3 @@
+module l
+
+go 1.23

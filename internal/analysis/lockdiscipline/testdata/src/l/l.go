@@ -1,0 +1,159 @@
+// Package l exercises the lockdiscipline analyzer: registry re-entry
+// from snapshot probes, canonical mutex ordering (loadMu before mu),
+// and re-entrant acquisition.
+package l
+
+import "sync"
+
+// Registry mimics the obs registry surface the analyzer recognizes.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*int64
+	probes   []func() int64
+}
+
+// Counter acquires the registry lock.
+func (r *Registry) Counter(name string) *int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = new(int64)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// RegisterProbe registers a pull-style gauge.
+func (r *Registry) RegisterProbe(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.probes = append(r.probes, fn)
+}
+
+// RegisterProbeGroup registers a multi-gauge source.
+func (r *Registry) RegisterProbeGroup(fn func(emit func(string, int64))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+}
+
+// Shard is the table-set-plus-accounting shape from core: loadMu is
+// acquired before mu by convention.
+type Shard struct {
+	mu     sync.RWMutex
+	loadMu sync.Mutex
+	tables map[int]string
+	n      int64
+}
+
+// goodProbes resolves its handle at registration time and reads only
+// shard state inside the probe. Not flagged.
+func goodProbes(r *Registry, s *Shard) {
+	h := r.Counter("boot")
+	r.RegisterProbe("shard.tables", func() int64 {
+		*h = 1
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return int64(len(s.tables))
+	})
+}
+
+// badProbe creates a handle inside the probe: registry lock re-entry.
+func badProbe(r *Registry, s *Shard) {
+	r.RegisterProbe("shard.n", func() int64 {
+		c := r.Counter("lazy") // want `snapshot probe reaches Registry.Counter`
+		_ = c
+		return s.n
+	})
+}
+
+// badProbeGroup reaches the registry through a helper.
+func badProbeGroup(r *Registry, s *Shard) {
+	r.RegisterProbeGroup(func(emit func(string, int64)) {
+		emit("n", lazyCount(r))
+	})
+}
+
+// lazyCount is the helper a probe calls into.
+func lazyCount(r *Registry) int64 {
+	return *r.Counter("lazy") // want `snapshot probe reaches Registry.Counter`
+}
+
+// canonicalOrder takes loadMu, then mu. Not flagged.
+func (s *Shard) canonicalOrder() {
+	s.loadMu.Lock()
+	defer s.loadMu.Unlock()
+	s.mu.Lock()
+	s.tables[0] = "x"
+	s.mu.Unlock()
+}
+
+// invertedOrder acquires loadMu while holding mu.
+func (s *Shard) invertedOrder() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.loadMu.Lock() // want `acquiring s.loadMu while holding s.mu inverts the canonical lock order`
+	s.loadMu.Unlock()
+}
+
+// sequential holds the locks one after another, never nested. Not
+// flagged.
+func (s *Shard) sequential() {
+	s.mu.RLock()
+	n := len(s.tables)
+	s.mu.RUnlock()
+	s.loadMu.Lock()
+	s.n = int64(n)
+	s.loadMu.Unlock()
+}
+
+// reentrant re-acquires a held lock.
+func (s *Shard) reentrant() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.mu.RLock() // want `re-entrant acquisition of s.mu`
+	s.mu.RUnlock()
+}
+
+// accountLocked acquires loadMu on its receiver.
+func (s *Shard) accountLocked() {
+	s.loadMu.Lock()
+	s.n++
+	s.loadMu.Unlock()
+}
+
+// invertedViaCall reaches loadMu through a same-receiver call while mu
+// is held.
+func (s *Shard) invertedViaCall() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.accountLocked() // want `acquiring s.loadMu \(via call to accountLocked\) while holding s.mu`
+}
+
+// callAfterUnlock releases mu before the accounting call. Not flagged.
+func (s *Shard) callAfterUnlock() {
+	s.mu.Lock()
+	s.tables[1] = "y"
+	s.mu.Unlock()
+	s.accountLocked()
+}
+
+// otherShard locks a different receiver's mu: no relation to s's
+// locks. Not flagged.
+func (s *Shard) otherShard(o *Shard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	o.loadMu.Lock()
+	o.loadMu.Unlock()
+}
+
+// branchScoped takes mu only inside a branch; the accounting call after
+// the branch runs unlocked. Not flagged.
+func (s *Shard) branchScoped(cond bool) {
+	if cond {
+		s.mu.Lock()
+		s.tables[2] = "z"
+		s.mu.Unlock()
+	}
+	s.accountLocked()
+}

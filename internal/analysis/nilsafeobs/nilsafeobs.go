@@ -1,0 +1,509 @@
+// Package nilsafeobs enforces the obs handle contract: a nil
+// *Counter/*Gauge/*Histogram/*Registry must be a safe no-op, so
+// instrumented code can run with telemetry off without branching.
+//
+// Handle types are discovered structurally: every exported type T that
+// some exported function or method hands out as *T (NewRegistry,
+// Registry.Counter, …). For each exported pointer-receiver method on a
+// handle type, the analyzer proves the receiver is never dereferenced
+// while possibly nil:
+//
+//   - a leading `if r == nil { return … }` guard (possibly combined
+//     with other conditions by ||) makes the rest of the method safe;
+//   - a call to a nil predicate — a method like Discarding whose body
+//     is `return r == nil || …` — counts as a guard too;
+//   - short-circuit forms are understood: `r == nil || X` protects X,
+//     `r != nil && X` protects X, and an if-body entered under an
+//     `r != nil` conjunct is protected;
+//   - delegation to other nil-safe methods of the same type is safe
+//     (Inc calling Add), computed to a fixed point.
+//
+// Anything else that touches a field, embedded lock, or value-receiver
+// method before a guard is reported.
+package nilsafeobs
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer is the nil-safe-handle checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "nilsafeobs",
+	Doc:  "exported methods on handle types handed out as pointers must be nil-receiver-safe",
+	Run:  run,
+}
+
+// method pairs one pointer-receiver method's syntax with its receiver
+// object and type name.
+type method struct {
+	decl     *ast.FuncDecl
+	typeName string
+	recv     types.Object // nil when the receiver is unnamed
+}
+
+func run(pass *analysis.Pass) error {
+	methods := collectPointerMethods(pass)
+	handles := handleTypes(pass)
+	if len(handles) == 0 {
+		return nil
+	}
+
+	safe := make(map[*method]bool, len(methods))
+	byType := make(map[string]map[string]*method)
+	for _, m := range methods {
+		safe[m] = true
+		tm := byType[m.typeName]
+		if tm == nil {
+			tm = make(map[string]*method)
+			byType[m.typeName] = tm
+		}
+		tm[m.decl.Name.Name] = m
+	}
+	preds := nilPredicates(pass, methods)
+
+	// Fixed point: assume every method safe, then strike out methods
+	// that dereference an unguarded receiver — including via delegation
+	// to a method that has itself been struck out.
+	c := &checker{pass: pass, safe: safe, byType: byType, preds: preds}
+	for changed := true; changed; {
+		changed = false
+		for _, m := range methods {
+			if !safe[m] {
+				continue
+			}
+			if !c.methodSafe(m) {
+				safe[m] = false
+				changed = true
+			}
+		}
+	}
+
+	for _, m := range methods {
+		if safe[m] || !handles[m.typeName] || !m.decl.Name.IsExported() {
+			continue
+		}
+		pass.Report(analysis.Diagnostic{Pos: m.decl.Name.Pos(),
+			Message: "exported method (*" + m.typeName + ")." + m.decl.Name.Name +
+				" on nil-safe handle type dereferences the receiver before a nil guard"})
+	}
+	return nil
+}
+
+// collectPointerMethods gathers every pointer-receiver method declared
+// in the package.
+func collectPointerMethods(pass *analysis.Pass) []*method {
+	var out []*method
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			star, ok := fd.Recv.List[0].Type.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			base := star.X
+			if idx, ok := base.(*ast.IndexExpr); ok { // generic receiver
+				base = idx.X
+			}
+			tn, ok := base.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			m := &method{decl: fd, typeName: tn.Name}
+			if names := fd.Recv.List[0].Names; len(names) == 1 && names[0].Name != "_" {
+				m.recv = pass.Info.Defs[names[0]]
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// handleTypes returns the names of exported types that some exported
+// function or method in the package returns as a pointer.
+func handleTypes(pass *analysis.Pass) map[string]bool {
+	out := make(map[string]bool)
+	record := func(ft *ast.FuncType) {
+		if ft.Results == nil {
+			return
+		}
+		for _, res := range ft.Results.List {
+			star, ok := res.Type.(*ast.StarExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := star.X.(*ast.Ident); ok && id.IsExported() {
+				if _, isType := pass.Info.Uses[id].(*types.TypeName); isType {
+					out[id.Name] = true
+				}
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.IsExported() {
+				record(fd.Type)
+			}
+		}
+	}
+	return out
+}
+
+// nilPredicates finds methods whose body is a single
+// `return r == nil || …` — callable on a nil receiver and guaranteed
+// true when it is nil, so `if r.P() { return }` is a guard.
+func nilPredicates(pass *analysis.Pass, methods []*method) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, m := range methods {
+		if m.recv == nil || len(m.decl.Body.List) != 1 {
+			continue
+		}
+		ret, ok := m.decl.Body.List[0].(*ast.ReturnStmt)
+		if !ok || len(ret.Results) != 1 {
+			continue
+		}
+		if disjunctIsNilTest(pass, ret.Results[0], m.recv) {
+			out[pass.Info.Defs[m.decl.Name]] = true
+		}
+	}
+	return out
+}
+
+// disjunctIsNilTest reports whether expr, viewed as a ||-chain, begins
+// with `recv == nil` (so evaluating it on a nil receiver is safe and
+// yields true).
+func disjunctIsNilTest(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	e = unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok {
+		switch b.Op {
+		case token.LOR:
+			return disjunctIsNilTest(pass, b.X, recv)
+		case token.EQL:
+			return isRecvNilComparison(pass, b, recv)
+		}
+	}
+	return false
+}
+
+// checker evaluates one method's receiver-dereference safety.
+type checker struct {
+	pass   *analysis.Pass
+	safe   map[*method]bool
+	byType map[string]map[string]*method
+	preds  map[types.Object]bool
+}
+
+// methodSafe reports whether the method never dereferences a
+// possibly-nil receiver.
+func (c *checker) methodSafe(m *method) bool {
+	if m.recv == nil {
+		return true
+	}
+	return c.scanStmts(m, m.decl.Body.List)
+}
+
+// scanStmts walks top-level statements in order until a guard ends the
+// possibly-nil region, a return ends the function, or a dereference is
+// found. Returns false on an unguarded dereference.
+func (c *checker) scanStmts(m *method, stmts []ast.Stmt) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.IfStmt:
+			if s.Init != nil && !c.stmtClean(m, s.Init, false) {
+				return false
+			}
+			if c.isGuard(m, s) {
+				return true
+			}
+			if !c.exprClean(m, s.Cond, false) {
+				return false
+			}
+			protected := condHasNonNilConjunct(c.pass, s.Cond, m.recv)
+			if !protected && !c.scanBlockClean(m, s.Body) {
+				return false
+			}
+			if s.Else != nil && !c.stmtClean(m, s.Else, false) {
+				return false
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				if !c.exprClean(m, r, false) {
+					return false
+				}
+			}
+			return true
+		default:
+			if !c.stmtClean(m, s, false) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// isGuard reports whether the if-statement establishes the receiver is
+// non-nil afterwards: its condition is true whenever the receiver is
+// nil (an `r == nil` or nil-predicate disjunct, with only deref-free
+// disjuncts evaluated before it), and its body terminates without
+// dereferencing.
+func (c *checker) isGuard(m *method, s *ast.IfStmt) bool {
+	if !c.guardCond(m, s.Cond) {
+		return false
+	}
+	if !c.scanBlockClean(m, s.Body) {
+		return false
+	}
+	return blockTerminates(s.Body)
+}
+
+// guardCond walks the ||-chain: true if some disjunct tests the
+// receiver for nil (directly or via a nil predicate), and no disjunct
+// evaluated before it dereferences.
+func (c *checker) guardCond(m *method, e ast.Expr) bool {
+	for _, d := range disjuncts(e) {
+		if isRecvNilComparison(c.pass, unparen(d), m.recv) || c.isNilPredicateCall(m, d) {
+			return true
+		}
+		if !c.exprClean(m, d, false) {
+			return false
+		}
+	}
+	return false
+}
+
+// isNilPredicateCall matches `r.P()` where P is a nil predicate.
+func (c *checker) isNilPredicateCall(m *method, e ast.Expr) bool {
+	call, ok := unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !c.isRecv(sel.X, m.recv) {
+		return false
+	}
+	return c.preds[c.pass.Info.Uses[sel.Sel]]
+}
+
+// stmtClean checks a statement (and everything nested) for unguarded
+// receiver dereferences. Function literals are skipped: a closure runs
+// later, under its own reasoning.
+func (c *checker) stmtClean(m *method, s ast.Stmt, protected bool) bool {
+	clean := true
+	ast.Inspect(s, func(n ast.Node) bool {
+		if !clean {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case ast.Expr:
+			if !c.exprClean(m, n, protected) {
+				clean = false
+			}
+			return false // exprClean recursed already
+		}
+		return true
+	})
+	return clean
+}
+
+// scanBlockClean checks a block's statements for dereferences.
+func (c *checker) scanBlockClean(m *method, b *ast.BlockStmt) bool {
+	for _, s := range b.List {
+		if !c.stmtClean(m, s, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// exprClean reports whether evaluating e cannot dereference a nil
+// receiver. protected means the receiver is known non-nil here.
+func (c *checker) exprClean(m *method, e ast.Expr, protected bool) bool {
+	if e == nil {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return c.exprClean(m, e.X, protected)
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.SelectorExpr:
+		if c.isRecv(e.X, m.recv) {
+			return protected // bare field access or method value
+		}
+		return c.exprClean(m, e.X, protected)
+	case *ast.StarExpr:
+		if c.isRecv(e.X, m.recv) {
+			return protected
+		}
+		return c.exprClean(m, e.X, protected)
+	case *ast.CallExpr:
+		if sel, ok := unparen(e.Fun).(*ast.SelectorExpr); ok && c.isRecv(sel.X, m.recv) {
+			// r.M(args): safe iff M is a (currently) nil-safe
+			// pointer-receiver method of the same type.
+			if !protected && !c.calleeNilSafe(m, sel.Sel) {
+				return false
+			}
+		} else if !c.exprClean(m, e.Fun, protected) {
+			return false
+		}
+		for _, a := range e.Args {
+			if !c.exprClean(m, a, protected) {
+				return false
+			}
+		}
+		return true
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LOR:
+			if !c.exprClean(m, e.X, protected) {
+				return false
+			}
+			// r == nil || X: X only evaluates when r != nil.
+			if disjunctIsNilTest(c.pass, e.X, m.recv) {
+				protected = true
+			}
+			return c.exprClean(m, e.Y, protected)
+		case token.LAND:
+			if !c.exprClean(m, e.X, protected) {
+				return false
+			}
+			if condHasNonNilConjunct(c.pass, e.X, m.recv) {
+				protected = true
+			}
+			return c.exprClean(m, e.Y, protected)
+		}
+		return c.exprClean(m, e.X, protected) && c.exprClean(m, e.Y, protected)
+	case *ast.UnaryExpr:
+		return c.exprClean(m, e.X, protected)
+	case *ast.IndexExpr:
+		return c.exprClean(m, e.X, protected) && c.exprClean(m, e.Index, protected)
+	case *ast.SliceExpr:
+		return c.exprClean(m, e.X, protected) && c.exprClean(m, e.Low, protected) &&
+			c.exprClean(m, e.High, protected) && c.exprClean(m, e.Max, protected)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if !c.exprClean(m, el, protected) {
+				return false
+			}
+		}
+		return true
+	case *ast.KeyValueExpr:
+		return c.exprClean(m, e.Key, protected) && c.exprClean(m, e.Value, protected)
+	case *ast.TypeAssertExpr:
+		return c.exprClean(m, e.X, protected)
+	case *ast.FuncLit:
+		return true // runs later; not this method's nil region
+	default:
+		// Conservative fallback: any receiver mention under an unknown
+		// expression kind counts as a dereference.
+		clean := true
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && m.recv != nil && c.pass.Info.Uses[id] == m.recv {
+				clean = protected
+			}
+			return clean
+		})
+		return clean
+	}
+}
+
+// calleeNilSafe reports whether sel names a same-type pointer-receiver
+// method currently considered nil-safe.
+func (c *checker) calleeNilSafe(m *method, sel *ast.Ident) bool {
+	callee := c.byType[m.typeName][sel.Name]
+	return callee != nil && c.safe[callee]
+}
+
+func (c *checker) isRecv(e ast.Expr, recv types.Object) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && recv != nil && c.pass.Info.Uses[id] == recv
+}
+
+// --- small syntax helpers ---
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// disjuncts flattens a ||-chain in evaluation order.
+func disjuncts(e ast.Expr) []ast.Expr {
+	e = unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.LOR {
+		return append(disjuncts(b.X), disjuncts(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// conjuncts flattens a &&-chain in evaluation order.
+func conjuncts(e ast.Expr) []ast.Expr {
+	e = unparen(e)
+	if b, ok := e.(*ast.BinaryExpr); ok && b.Op == token.LAND {
+		return append(conjuncts(b.X), conjuncts(b.Y)...)
+	}
+	return []ast.Expr{e}
+}
+
+// isRecvNilComparison matches `recv == nil` / `nil == recv`.
+func isRecvNilComparison(pass *analysis.Pass, e ast.Expr, recv types.Object) bool {
+	b, ok := unparen(e).(*ast.BinaryExpr)
+	if !ok || b.Op != token.EQL {
+		return false
+	}
+	return recvAndNil(pass, b.X, b.Y, recv) || recvAndNil(pass, b.Y, b.X, recv)
+}
+
+// condHasNonNilConjunct reports whether cond, viewed as a &&-chain,
+// contains a `recv != nil` conjunct — entering the guarded region
+// implies the receiver is non-nil.
+func condHasNonNilConjunct(pass *analysis.Pass, cond ast.Expr, recv types.Object) bool {
+	for _, cj := range conjuncts(cond) {
+		if b, ok := unparen(cj).(*ast.BinaryExpr); ok && b.Op == token.NEQ {
+			if recvAndNil(pass, b.X, b.Y, recv) || recvAndNil(pass, b.Y, b.X, recv) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func recvAndNil(pass *analysis.Pass, a, b ast.Expr, recv types.Object) bool {
+	id, ok := unparen(a).(*ast.Ident)
+	if !ok || recv == nil || pass.Info.Uses[id] != recv {
+		return false
+	}
+	nid, ok := unparen(b).(*ast.Ident)
+	return ok && nid.Name == "nil" && pass.Info.Uses[nid] == types.Universe.Lookup("nil")
+}
+
+// blockTerminates reports whether a guard body always leaves the
+// method: its last statement is a return or a panic call.
+func blockTerminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package nilsafeobs_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/nilsafeobs"
+)
+
+func TestNilSafeObs(t *testing.T) {
+	analysistest.Run(t, ".", "h", nilsafeobs.Analyzer)
+}

@@ -1,0 +1,3 @@
+module h
+
+go 1.23

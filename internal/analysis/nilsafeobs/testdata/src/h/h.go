@@ -1,0 +1,107 @@
+// Package h exercises the nilsafeobs analyzer: handle types (returned
+// as pointers by exported functions) whose exported pointer-receiver
+// methods must tolerate a nil receiver.
+package h
+
+import "sync"
+
+// Counter is a handle: NewCounter returns *Counter.
+type Counter struct {
+	mu sync.Mutex
+	n  int64
+}
+
+// NewCounter makes Counter a handle type.
+func NewCounter() *Counter { return &Counter{} }
+
+// Add has the canonical leading guard. Not flagged.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.n += n
+	c.mu.Unlock()
+}
+
+// Inc delegates to a nil-safe method. Not flagged.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Bump dereferences before any guard.
+func (c *Counter) Bump() { // want `\(\*Counter\).Bump on nil-safe handle type dereferences the receiver`
+	c.n++
+	if c == nil {
+		return
+	}
+}
+
+// Load is guarded by a combined condition. Not flagged.
+func (c *Counter) Load() int64 {
+	if c == nil || c.disabled() {
+		return 0
+	}
+	return c.n
+}
+
+// disabled is unexported: it may be unsafe without being reported, but
+// callers may not treat it as a guard.
+func (c *Counter) disabled() bool { return c.n < 0 }
+
+// Registry mirrors the obs registry shape: a nil predicate guards the
+// other methods.
+type Registry struct {
+	off bool
+	m   map[string]*Counter
+}
+
+// NewRegistry makes Registry a handle type.
+func NewRegistry() *Registry { return &Registry{m: map[string]*Counter{}} }
+
+// Discarding is a nil predicate: callable on nil, true when nil. Not
+// flagged.
+func (r *Registry) Discarding() bool { return r == nil || r.off }
+
+// Counter is guarded by the predicate. Not flagged.
+func (r *Registry) Counter(name string) *Counter {
+	if r.Discarding() {
+		return nil
+	}
+	c := r.m[name]
+	if c == nil {
+		c = NewCounter()
+		r.m[name] = c
+	}
+	return c
+}
+
+// Shortcircuit uses expression-level protection only. Not flagged.
+func (r *Registry) Shortcircuit() bool {
+	return r != nil && !r.off
+}
+
+// Broken guards too late: the map read precedes the nil check.
+func (r *Registry) Broken(name string) *Counter { // want `\(\*Registry\).Broken on nil-safe handle type dereferences the receiver`
+	c := r.m[name]
+	if r == nil {
+		return nil
+	}
+	return c
+}
+
+// BadDelegate delegates to a method that is itself unsafe.
+func (r *Registry) BadDelegate(name string) *Counter { // want `\(\*Registry\).BadDelegate on nil-safe handle type dereferences the receiver`
+	return r.Broken(name)
+}
+
+// plain is not a handle type (nothing exported returns *plain), so its
+// methods are exempt.
+type plain struct{ n int }
+
+func (p *plain) bump() { p.n++ }
+
+// Helper is exported but no exported declaration returns *Helper, so it
+// is not a handle either.
+type Helper struct{ n int }
+
+// Grow needs no guard: Helper is not handed out as a pointer.
+func (h *Helper) Grow() { h.n++ }

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run applies analyzers to packages and returns the surviving findings:
+// diagnostics not covered by a valid //lint:allow directive, plus one
+// finding per directive-hygiene violation (missing reason, unknown
+// analyzer, suppresses nothing). filter, when non-nil, restricts which
+// analyzers run on which packages (repolint scopes the determinism
+// analyzer to the deterministic package set this way); directives are
+// still collected from every loaded package so a stale allow in an
+// out-of-scope file is reported rather than ignored.
+func Run(pkgs []*Package, analyzers []*Analyzer, filter func(a *Analyzer, pkgPath string) bool) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows := collectAllows(pkgs)
+
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if filter != nil && !filter(a, pkg.PkgPath) {
+				continue
+			}
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				Report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			for _, d := range diags {
+				pos := pkg.Fset.Position(d.Pos)
+				suppressed := false
+				for _, al := range allows {
+					if al.suppresses(a.Name, pos) {
+						al.used = true
+						suppressed = true
+					}
+				}
+				if !suppressed {
+					findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+				}
+			}
+		}
+	}
+
+	for _, al := range allows {
+		switch {
+		case al.analyzer == "":
+			findings = append(findings, Finding{
+				Analyzer: AllowAnalyzerName, Pos: al.pos,
+				Message: "malformed //lint:allow directive: want //lint:allow <analyzer> <reason>",
+			})
+		case !known[al.analyzer]:
+			findings = append(findings, Finding{
+				Analyzer: AllowAnalyzerName, Pos: al.pos,
+				Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", al.analyzer),
+			})
+		case al.reason == "":
+			findings = append(findings, Finding{
+				Analyzer: AllowAnalyzerName, Pos: al.pos,
+				Message: fmt.Sprintf("//lint:allow %s has no reason: every allowlist entry must explain itself", al.analyzer),
+			})
+		case !al.used:
+			findings = append(findings, Finding{
+				Analyzer: AllowAnalyzerName, Pos: al.pos,
+				Message: fmt.Sprintf("//lint:allow %s suppresses nothing: remove it or move it to the flagged line", al.analyzer),
+			})
+		}
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

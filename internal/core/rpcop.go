@@ -327,7 +327,7 @@ func burnFor(d time.Duration) {
 	if d <= 0 {
 		return
 	}
-	end := time.Now().Add(d)
+	end := time.Now().Add(d) //lint:allow determinism busy-wait models a slower platform; burns wall time, returns nothing
 	for time.Now().Before(end) {
 	}
 }

@@ -283,7 +283,7 @@ type runEntry struct {
 
 func (s *SparseShard) handleRun(ctx trace.Context, body []byte) ([]byte, error) {
 	s.met.runCalls.Inc()
-	runStart := time.Now()
+	runStart := time.Now() //lint:allow determinism stage latency histogram; never reaches response bytes
 	defer func() { s.met.runNs.Observe(int64(time.Since(runStart))) }()
 
 	// Deserialize (RPC Ser/De at the sparse shard).
@@ -341,14 +341,14 @@ func (s *SparseShard) handleRun(ctx trace.Context, body []byte) ([]byte, error) 
 		}
 		netObs := &trace.NetObserver{R: s.rec, Ctx: ctx}
 		net := &nn.Net{NetName: req.Net, Ops: []nn.Op{sls}}
-		opStart := time.Now()
+		opStart := time.Now() //lint:allow determinism op wall time feeds compute-scale burn and load stats, not results
 		if err := net.Run(ws, netObs); err != nil {
 			return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
 		}
 		if s.OpComputeScale > 1 {
-			burnFor(time.Duration(float64(time.Since(opStart)) * (s.OpComputeScale - 1)))
+			burnFor(time.Duration(float64(time.Since(opStart)) * (s.OpComputeScale - 1))) //lint:allow determinism scaled burn models a slower platform; results unchanged
 		}
-		opDur := time.Since(opStart)
+		opDur := time.Since(opStart) //lint:allow determinism measured latency goes to histograms and load accounting only
 		s.met.opNs.Observe(int64(opDur))
 		s.accountLoad(local, opDur)
 
@@ -840,8 +840,8 @@ type MainService struct {
 
 // Handle implements rpc.Handler.
 func (s *MainService) Handle(ctx trace.Context, method string, body []byte) ([]byte, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow determinism end-to-end latency is tracer telemetry
 	out, err := HandleRank(s.Rec, ctx, method, body, s.Engine.Execute)
-	s.Tracer.Finish(ctx.TraceID, time.Since(start), err != nil)
+	s.Tracer.Finish(ctx.TraceID, time.Since(start), err != nil) //lint:allow determinism e2e latency recorded for tracing only
 	return out, err
 }

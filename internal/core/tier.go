@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/embedding"
 	"repro/internal/quant"
@@ -219,24 +220,36 @@ func (s *SparseShard) retier() {
 	s.loadMu.Unlock()
 
 	type cacheTab struct {
+		key    sharding.TableLoadKey
 		tt     *embedding.TieredTable
 		weight float64
 		bytes  float64
 	}
 	var tabs []cacheTab
-	var total, totalBytes float64
 	s.mu.RLock()
 	for key, tab := range s.tables {
 		tt, ok := tab.(*embedding.TieredTable)
 		if !ok {
 			continue
 		}
-		ct := cacheTab{tt: tt, weight: load.Weight(key.loadKey()), bytes: float64(tt.Cold().Bytes())}
-		tabs = append(tabs, ct)
+		lk := key.loadKey()
+		tabs = append(tabs, cacheTab{key: lk, tt: tt, weight: load.Weight(lk), bytes: float64(tt.Cold().Bytes())})
+	}
+	s.mu.RUnlock()
+	// The budget split below is float arithmetic: apportion in table-key
+	// order so every run of the same table set computes identical sizes
+	// regardless of map iteration order.
+	sort.Slice(tabs, func(i, j int) bool {
+		if tabs[i].key.TableID != tabs[j].key.TableID {
+			return tabs[i].key.TableID < tabs[j].key.TableID
+		}
+		return tabs[i].key.PartIndex < tabs[j].key.PartIndex
+	})
+	var total, totalBytes float64
+	for _, ct := range tabs {
 		total += ct.weight
 		totalBytes += ct.bytes
 	}
-	s.mu.RUnlock()
 	if len(tabs) == 0 || totalBytes <= 0 {
 		return
 	}

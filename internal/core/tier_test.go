@@ -322,6 +322,50 @@ func TestRetierFloorSeedsNewcomer(t *testing.T) {
 
 // TestStagedTableErrors covers the staging guards: unknown encodings,
 // chunk encoding mismatches, and raw writes against fp32 staging.
+// TestRetierDeterministic pins the cache-budget split to table order:
+// building the same shard with the same measured load must size every
+// cache identically run after run, not drift with map iteration order
+// of the table set.
+func TestRetierDeterministic(t *testing.T) {
+	cfg := tinyConfig()
+	build := func() map[int]int {
+		m := model.Build(cfg)
+		sh := NewSparseShard("sparse1", trace.NewRecorder("sparse1", 1<<14))
+		sh.SetTier(tierConfigFor(&cfg, sharding.PrecisionInt8, 0.002))
+		for id, tab := range m.Tables {
+			sh.AddTable(id, tab)
+		}
+		sh.loadMu.Lock()
+		for id := range m.Tables {
+			sh.load.Add(sharding.TableLoadKey{TableID: id},
+				sharding.TableLoad{Lookups: int64(100 * (id + 1)), Calls: 1})
+		}
+		sh.loadMu.Unlock()
+		sh.retier()
+		caps := make(map[int]int)
+		sh.mu.RLock()
+		defer sh.mu.RUnlock()
+		for key, tab := range sh.tables {
+			if tt, ok := tab.(*embedding.TieredTable); ok {
+				caps[key.id] = tt.Capacity()
+			}
+		}
+		return caps
+	}
+	base := build()
+	if len(base) == 0 {
+		t.Fatal("no tiered tables built")
+	}
+	for run := 0; run < 8; run++ {
+		caps := build()
+		for id, c := range caps {
+			if c != base[id] {
+				t.Fatalf("run %d: table %d capacity %d, first run gave %d", run, id, c, base[id])
+			}
+		}
+	}
+}
+
 func TestStagedTableErrors(t *testing.T) {
 	if _, err := newStaged(99, 4, 4); err == nil {
 		t.Fatal("unknown encoding accepted")

@@ -1,0 +1,79 @@
+//go:build linux
+
+package kerneltest
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// Guarded is one mmap-backed allocation whose usable region ends flush
+// against a PROT_NONE guard page. A kernel that loads even one byte
+// past the end of a slice handed out here faults immediately and
+// deterministically, instead of silently reading whatever heap object
+// the Go allocator happened to place next — which is how an
+// out-of-bounds vector load in the asm kernels would otherwise stay
+// invisible as long as the stray values get masked or multiplied away.
+type Guarded struct {
+	mapping []byte
+}
+
+// newGuarded maps enough whole pages for n usable bytes plus one guard
+// page, arms the guard with PROT_NONE, and returns the n bytes that end
+// exactly at the guard boundary.
+func newGuarded(n int) (*Guarded, []byte, error) {
+	page := syscall.Getpagesize()
+	pages := (n + page - 1) / page
+	if pages == 0 {
+		pages = 1
+	}
+	total := (pages + 1) * page
+	m, err := syscall.Mmap(-1, 0, total,
+		syscall.PROT_READ|syscall.PROT_WRITE,
+		syscall.MAP_ANON|syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := syscall.Mprotect(m[pages*page:], syscall.PROT_NONE); err != nil {
+		_ = syscall.Munmap(m)
+		return nil, nil, err
+	}
+	return &Guarded{mapping: m}, m[pages*page-n : pages*page], nil
+}
+
+// Free unmaps the region (guard page included). The slices handed out
+// by the Guarded* constructors are dead after Free.
+func (g *Guarded) Free() {
+	if g == nil || g.mapping == nil {
+		return
+	}
+	_ = syscall.Munmap(g.mapping)
+	g.mapping = nil
+}
+
+// GuardedOf returns an n-element slice of T whose last element ends
+// flush against a PROT_NONE page. The base pointer is aligned only to
+// the element size — the same 4-byte-but-not-vector alignment class
+// UnalignedMatrix exercises. n must be non-negative; n == 0 returns an
+// empty (but valid) slice one byte short of the guard.
+func GuardedOf[T any](n int) (*Guarded, []T) {
+	size := int(unsafe.Sizeof(*new(T)))
+	g, raw, err := newGuarded(n * size)
+	if err != nil {
+		panic("kerneltest: guard mmap failed: " + err.Error())
+	}
+	if n == 0 {
+		return g, []T{}
+	}
+	return g, unsafe.Slice((*T)(unsafe.Pointer(&raw[0])), n)
+}
+
+// GuardedFloat32 is GuardedOf[float32]: the operand type of the GEMM
+// and decode-accumulate kernels.
+func GuardedFloat32(n int) (*Guarded, []float32) { return GuardedOf[float32](n) }
+
+// GuardedBytes is GuardedOf[byte]: packed quantized row storage.
+func GuardedBytes(n int) (*Guarded, []byte) { return GuardedOf[byte](n) }
+
+// GuardedUint16 is GuardedOf[uint16]: fp16 scale/bias headers.
+func GuardedUint16(n int) (*Guarded, []uint16) { return GuardedOf[uint16](n) }

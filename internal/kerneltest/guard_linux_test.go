@@ -1,0 +1,167 @@
+//go:build linux
+
+package kerneltest
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"unsafe"
+
+	"repro/internal/quant"
+	"repro/internal/tensor"
+)
+
+// guardSink defeats dead-load elimination in the crash child: the
+// over-read below must survive to execution, not be optimized away.
+var guardSink float32
+
+// TestGuardPageFaultsOnOverread proves the harness can actually catch
+// anything: a child process reads one element past a guarded slice and
+// must die on the fault. If this test ever observes the child
+// surviving, the guard pages are decorative and every GuardPaged sweep
+// below is vacuous.
+func TestGuardPageFaultsOnOverread(t *testing.T) {
+	if os.Getenv("KERNELTEST_GUARD_CRASH") == "1" {
+		g, data := GuardedFloat32(8)
+		defer g.Free()
+		// The same stray load a buggy kernel would issue: one element
+		// past the end of the slice, which is the first byte of the
+		// PROT_NONE page.
+		p := (*float32)(unsafe.Add(unsafe.Pointer(&data[0]), len(data)*4))
+		guardSink = *p
+		os.Exit(0) // unreachable if the guard works
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestGuardPageFaultsOnOverread$", "-test.v")
+	cmd.Env = append(os.Environ(), "KERNELTEST_GUARD_CRASH=1")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("over-read of a guarded slice did not fault:\n%s", out)
+	}
+	if s := string(out); !strings.Contains(s, "SIGSEGV") && !strings.Contains(s, "fault") {
+		t.Fatalf("child died but not from the guard page: %v\n%s", err, s)
+	}
+}
+
+// guardedMatrix builds a rows×cols matrix whose Data ends flush against
+// a guard page.
+func guardedMatrix(t *testing.T, rng *rand.Rand, rows, cols int, p Payload) *tensor.Matrix {
+	t.Helper()
+	g, data := GuardedFloat32(rows * cols)
+	t.Cleanup(g.Free)
+	p.Fill(rng, data)
+	return tensor.FromSlice(rows, cols, data)
+}
+
+// TestGEMMGuardPaged runs the full adversarial shape sweep with every
+// operand — a, b, and dst — flush against a guard page, under both
+// kernels and both the serial and parallel paths. A vector body or tail
+// that loads past a row end faults here; results are still checked
+// against the oracle so short reads (not just over-reads) show up too.
+func TestGEMMGuardPaged(t *testing.T) {
+	defer resetDispatch()
+	rng := rand.New(rand.NewSource(99))
+	p := Payloads()[0]
+	for _, s := range GEMMShapes() {
+		a := guardedMatrix(t, rng, s.M, s.K, p)
+		b := guardedMatrix(t, rng, s.K, s.N, p)
+		want := tensor.New(s.M, s.N)
+		RefMatMul(want, a, b)
+		dst := guardedMatrix(t, rng, s.M, s.N, p)
+		for _, kern := range Kernels() {
+			for _, par := range []int{1, 3} {
+				tensor.SetKernel(kern)
+				tensor.SetParallelism(par)
+				for i := range dst.Data {
+					dst.Data[i] = float32(math.NaN()) // dirty dst
+				}
+				tensor.MatMul(dst, a, b)
+				if i := DiffFloat32(dst.Data, want.Data); i >= 0 {
+					t.Fatalf("shape=%dx%dx%d kern=%v par=%d: element %d = %08x, want %08x",
+						s.M, s.K, s.N, kern, par, i,
+						math.Float32bits(dst.Data[i]), math.Float32bits(want.Data[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestQuantGuardPaged runs the decode sweep with the packed codes, the
+// fp16 headers, and the caller-provided accumulator all guard-paged,
+// for both widths across every vector-body/tail split. The int4 path is
+// the sharpest edge: an odd column count's final nibble shares its byte
+// with nothing, so a decoder that rounds the row stride up reads the
+// guard.
+func TestQuantGuardPaged(t *testing.T) {
+	defer tensor.SetKernel(tensor.KernelAuto)
+	rng := rand.New(rand.NewSource(7))
+	for _, bits := range []quant.Bits{quant.Bits8, quant.Bits4} {
+		for _, cols := range []int{1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 23, 31, 32, 33, 64, 67} {
+			rows := 6
+			stride := cols
+			if bits == quant.Bits4 {
+				stride = (cols + 1) / 2
+			}
+			gp, packed := GuardedBytes(rows * stride)
+			gs, scales := GuardedUint16(rows)
+			gb, biases := GuardedUint16(rows)
+			for i := range packed {
+				packed[i] = byte(rng.Intn(256))
+			}
+			for r := 0; r < rows; r++ {
+				scales[r], biases[r] = 0x3c00, 0x4000 // 1.0, 2.0
+			}
+			q, err := quant.NewFromParts(rows, cols, bits, scales, biases, packed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			indices := make([]int32, 10)
+			for i := range indices {
+				indices[i] = int32(rng.Intn(rows))
+			}
+
+			type result struct{ deq, accRow, accBag []float32 }
+			run := func(k tensor.Kernel) result {
+				tensor.SetKernel(k)
+				var res result
+				gd, deq := GuardedFloat32(cols)
+				defer gd.Free()
+				q.DequantizeRowInto(deq, rows-1)
+				res.deq = append([]float32(nil), deq...)
+				ga, acc := GuardedFloat32(cols)
+				defer ga.Free()
+				for r := 0; r < rows; r++ {
+					q.AccumulateRow(acc, r)
+				}
+				res.accRow = append([]float32(nil), acc...)
+				gg, bag := GuardedFloat32(cols)
+				defer gg.Free()
+				q.AccumulateBag(bag, indices)
+				res.accBag = append([]float32(nil), bag...)
+				return res
+			}
+			gen := run(tensor.KernelGeneric)
+			vec := run(tensor.KernelVector)
+			for _, cmp := range []struct {
+				name      string
+				got, want []float32
+			}{
+				{"dequantize", vec.deq, gen.deq},
+				{"accumulate-row", vec.accRow, gen.accRow},
+				{"accumulate-bag", vec.accBag, gen.accBag},
+			} {
+				if i := DiffFloat32(cmp.got, cmp.want); i >= 0 {
+					t.Fatalf("bits=%d cols=%d %s: element %d = %08x, want %08x",
+						bits, cols, cmp.name, i,
+						math.Float32bits(cmp.got[i]), math.Float32bits(cmp.want[i]))
+				}
+			}
+			gp.Free()
+			gs.Free()
+			gb.Free()
+		}
+	}
+}

@@ -288,6 +288,25 @@ func TestTracerSampling(t *testing.T) {
 	}
 }
 
+// TestNilTracerSafe pins the handle contract: a nil *Tracer (tracing
+// disabled) must absorb every exported call without panicking, the same
+// way nil Counter/Gauge handles do.
+func TestNilTracerSafe(t *testing.T) {
+	var tr *Tracer
+	if tr.Sampled(1) {
+		t.Error("nil tracer must not sample")
+	}
+	tr.ConsumeSpan(trace.Span{TraceID: 1})
+	tr.Finish(1, time.Millisecond, true)
+	if s := tr.Summaries(); s != nil {
+		t.Errorf("nil tracer Summaries = %v, want nil", s)
+	}
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil || sb.Len() != 0 {
+		t.Errorf("nil tracer WriteText = %v, wrote %q", err, sb.String())
+	}
+}
+
 func TestTracerFinishProducesBreakdown(t *testing.T) {
 	r := NewRegistry()
 	tr := NewTracer(r, TracerConfig{SampleEvery: 1})

@@ -109,6 +109,9 @@ func NewTracer(reg *Registry, cfg TracerConfig) *Tracer {
 
 // Sampled reports whether traceID is in the deterministic sample.
 func (t *Tracer) Sampled(traceID uint64) bool {
+	if t == nil {
+		return false
+	}
 	e := t.cfg.SampleEvery
 	if e <= 0 || traceID == 0 {
 		return false
@@ -123,7 +126,7 @@ func (t *Tracer) Sampled(traceID uint64) bool {
 // ConsumeSpan implements trace.SpanSink. The unsampled path is one
 // modulo and a compare — cheap enough to sit inside Recorder.Record.
 func (t *Tracer) ConsumeSpan(s trace.Span) {
-	if !t.Sampled(s.TraceID) {
+	if t == nil || !t.Sampled(s.TraceID) {
 		return
 	}
 	t.mu.Lock()
@@ -252,6 +255,9 @@ func (t *Tracer) Finish(traceID uint64, e2e time.Duration, deadlineMiss bool) {
 
 // Summaries returns the ring's contents, oldest first.
 func (t *Tracer) Summaries() []TraceSummary {
+	if t == nil {
+		return nil
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if !t.filled {
@@ -266,6 +272,9 @@ func (t *Tracer) Summaries() []TraceSummary {
 // WriteText renders the summaries for the /traces endpoint, oldest
 // first.
 func (t *Tracer) WriteText(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
 	for _, s := range t.Summaries() {
 		status := "ok"
 		switch {

@@ -167,8 +167,16 @@ func score(cfg *model.Config, plan *Plan, pooling map[int]float64, cm CostModel,
 		totalCalls += float64(len(shards)) * cm.BatchesPerRequest
 		// The bounding shard dominates the net's embedded wait; in-line
 		// pooling of the same lookups is what singular would have paid.
+		// Sum in shard order: candidate scores are compared against each
+		// other, so the float accumulation must not vary with map order.
+		ids := make([]int, 0, len(shards))
+		for id := range shards {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
 		var bounding, total float64
-		for _, p := range shards {
+		for _, id := range ids {
+			p := shards[id]
 			total += p
 			if p > bounding {
 				bounding = p

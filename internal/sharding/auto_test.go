@@ -119,6 +119,33 @@ func TestAutoShardDRM3PrefersFewShards(t *testing.T) {
 	}
 }
 
+// TestAutoShardScoresDeterministic pins the advisor's float arithmetic
+// to shard order: the per-net pooling sum must not vary with map
+// iteration, so repeated runs over identical inputs score (and rank)
+// identically.
+func TestAutoShardScoresDeterministic(t *testing.T) {
+	cfg, pooling := autoInputs(t)
+	base, err := AutoShard(&cfg, pooling, DefaultCostModel(), Constraints{MaxShards: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 8; run++ {
+		cs, err := AutoShard(&cfg, pooling, DefaultCostModel(), Constraints{MaxShards: 6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cs) != len(base) {
+			t.Fatalf("run %d: %d candidates vs %d", run, len(cs), len(base))
+		}
+		for i := range cs {
+			if cs[i].Plan.Name() != base[i].Plan.Name() || cs[i].Score != base[i].Score {
+				t.Fatalf("run %d: candidate %d is %s score %v, first run had %s score %v",
+					run, i, cs[i].Plan.Name(), cs[i].Score, base[i].Plan.Name(), base[i].Score)
+			}
+		}
+	}
+}
+
 func TestRenderCandidates(t *testing.T) {
 	cfg, pooling := autoInputs(t)
 	cs, err := AutoShard(&cfg, pooling, DefaultCostModel(), Constraints{MaxShards: 2})

@@ -172,7 +172,14 @@ func (p *Plan) Validate(cfg *model.Config) error {
 			parts[pr.TableID][pr.PartIndex] = a.Shard
 		}
 	}
+	// Validate in table order so a plan with several defects reports the
+	// same one every run instead of whichever the map yields first.
+	partIDs := make([]int, 0, len(parts))
 	for id := range parts {
+		partIDs = append(partIDs, id)
+	}
+	sort.Ints(partIDs)
+	for _, id := range partIDs {
 		if _, alsoWhole := whole[id]; alsoWhole {
 			return fmt.Errorf("sharding: table %d assigned both whole and partitioned", id)
 		}

@@ -1,6 +1,7 @@
 package sharding
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -238,6 +239,50 @@ func TestValidateCatchesCorruptPlans(t *testing.T) {
 	for name, mutate := range cases {
 		if err := corrupt(mutate).Validate(&cfg); err == nil {
 			t.Errorf("%s: Validate accepted a corrupt plan", name)
+		}
+	}
+}
+
+// TestValidateErrorDeterministic pins which defect a multi-defect plan
+// reports: validation iterates tables in sorted order, so the lowest
+// broken table id wins every run instead of whichever the part map
+// yields first.
+func TestValidateErrorDeterministic(t *testing.T) {
+	cfg := model.DRM1()
+	base, err := CapacityBalanced(&cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Break two tables the same way: move each to partitioned placement
+	// but register only one of its declared parts.
+	p := &Plan{ModelName: base.ModelName, Strategy: base.Strategy, NumShards: base.NumShards}
+	for _, a := range base.Shards {
+		na := Assignment{Shard: a.Shard, Tables: append([]int(nil), a.Tables...)}
+		na.Parts = append(na.Parts, a.Parts...)
+		p.Shards = append(p.Shards, na)
+	}
+	idA := p.Shards[0].Tables[0]
+	idB := p.Shards[1].Tables[0]
+	p.Shards[0].Tables = p.Shards[0].Tables[1:]
+	p.Shards[1].Tables = p.Shards[1].Tables[1:]
+	p.Shards[2].Parts = append(p.Shards[2].Parts,
+		PartRef{TableID: idA, PartIndex: 0, NumParts: 2},
+		PartRef{TableID: idB, PartIndex: 0, NumParts: 2})
+
+	first := p.Validate(&cfg)
+	if first == nil {
+		t.Fatal("Validate accepted a plan with two incomplete tables")
+	}
+	low := idA
+	if idB < low {
+		low = idB
+	}
+	if want := fmt.Sprintf("table %d has 1 of 2 parts", low); !strings.Contains(first.Error(), want) {
+		t.Fatalf("Validate reported %q, want the lowest table id: %q", first, want)
+	}
+	for i := 0; i < 32; i++ {
+		if err := p.Validate(&cfg); err == nil || err.Error() != first.Error() {
+			t.Fatalf("run %d: Validate error changed: %v vs %v", i, err, first)
 		}
 	}
 }
