@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/embedding"
 	"repro/internal/frontend"
 	"repro/internal/model"
 	"repro/internal/netsim"
@@ -48,6 +49,7 @@ func main() {
 		listen    = flag.String("listen", "127.0.0.1:0", "listen address")
 		modelFile = flag.String("model-file", "", "load a serialized model (from shardtool -save-model) instead of building")
 		shardFile = flag.String("shard-file", "", "sparse role: serve directly from a shard file (shardtool -export-shards)")
+		shardDir  = flag.String("shard-dir", "", "sparse role: serve from the v2 shard file <dir>/<model>.shardN, mmap-backed (shardtool export-v2)")
 		peers     = flag.String("peers", "", "main role: comma-separated sparseN=host:port bindings; repeat a name to add hedge replicas")
 		netDelay  = flag.Bool("netsim", false, "inject data-center link latency")
 
@@ -71,6 +73,12 @@ func main() {
 		// shards' measured load and migrate tables live toward balance.
 		rebalEvery = flag.Duration("rebalance-every", 0, "main role: run a capacity-driven rebalance pass at this interval (0 disables)")
 		moveBudget = flag.Int("move-budget", 4, "max table moves per rebalance pass")
+
+		// Online model freshness (main role): periodically publish a
+		// versioned delta set to every sparse peer over the
+		// sparse.update.* control plane.
+		publishEvery = flag.Duration("publish-every", 0, "main role: publish an identity delta set (freshness load, no score impact) at this interval (0 disables)")
+		publishRows  = flag.Int("publish-rows", 16, "rows republished per table per publish tick")
 
 		// Tiered embedding storage (sparse role): a hot-row cache byte
 		// budget in front of a quantized cold tier.
@@ -172,6 +180,10 @@ func main() {
 	shutdown := func() {}
 	switch *role {
 	case "sparse":
+		if *shardDir != "" {
+			srv, shutdown, err = serveSparseFromDir(*shardDir, modelName, *shardNum, *listen, *netDelay, tier, reg)
+			break
+		}
 		if *shardFile != "" {
 			srv, err = serveSparseFromFile(*shardFile, *listen, *netDelay, tier, reg)
 			break
@@ -189,6 +201,8 @@ func main() {
 			healthProbe:    *healthProbe,
 			rebalanceEvery: *rebalEvery,
 			moveBudget:     *moveBudget,
+			publishEvery:   *publishEvery,
+			publishRows:    *publishRows,
 			obs:            reg,
 			tracer:         tracer,
 		}
@@ -238,6 +252,8 @@ func main() {
 	switch {
 	case *role == "coserve":
 		// serveCoserve already printed the fleet banner.
+	case *shardDir != "":
+		fmt.Printf("drmserve: sparse shard (mmap from %s) on %s\n", *shardDir, srv.Addr())
 	case *shardFile != "":
 		fmt.Printf("drmserve: sparse shard (from %s) on %s\n", *shardFile, srv.Addr())
 	default:
@@ -270,6 +286,41 @@ func buildTier(cfg *model.Config, cacheMB float64, coldPrec string, errBudget fl
 		CacheMB: cacheMB,
 		Plan:    sharding.PlanTiers(cfg, sharding.TierOptions{ColdPrecision: prec, ErrorBudget: errBudget}),
 	}, nil
+}
+
+// serveSparseFromDir boots a sparse shard from its v2 shard file inside
+// dir, serving lookups out of mmap-backed storage where the platform
+// allows — the paper's publish-then-load flow without regenerating the
+// model. The returned shutdown releases the mapping (after the server).
+func serveSparseFromDir(dir, modelName string, shard int, listen string, sim bool, tier *core.TierConfig, reg *obs.Registry) (*rpc.Server, func(), error) {
+	path := core.ShardFilePath(dir, modelName, shard)
+	rec := trace.NewRecorder(core.ServiceName(shard), 1<<16)
+	sh, got, closer, err := core.OpenShardFile(path, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	if got != shard {
+		sh.Close()
+		closer.Close()
+		return nil, nil, fmt.Errorf("%s holds shard %d, -shard says %d", path, got, shard)
+	}
+	if tier != nil {
+		sh.SetTier(tier)
+	}
+	sh.SetObs(reg)
+	cfg := rpc.ServerConfig{Recorder: rec, BoilerplateCost: platform.BaseBoilerplate}
+	if sim {
+		cfg.ResponseLink = platform.SCLarge().Network(int64(shard)).Response
+	}
+	fmt.Printf("drmserve: %s mapped from %s: %d tables/parts, %.1f MiB\n",
+		sh.ShardName, path, sh.NumTables(), float64(sh.Bytes())/(1<<20))
+	srv, err := rpc.NewServer(listen, sh, cfg)
+	if err != nil {
+		sh.Close()
+		closer.Close()
+		return nil, nil, err
+	}
+	return srv, func() { closer.Close() }, nil
 }
 
 // serveSparseFromFile boots a sparse shard straight from a shard file —
@@ -340,6 +391,8 @@ type mainOptions struct {
 	healthProbe    time.Duration
 	rebalanceEvery time.Duration
 	moveBudget     int
+	publishEvery   time.Duration
+	publishRows    int
 	obs            *obs.Registry
 	tracer         *obs.Tracer
 }
@@ -504,7 +557,87 @@ func serveMain(m *model.Model, plan *sharding.Plan, listen, peers string, sim bo
 		shutdown = func() { close(stop); prev() }
 		fmt.Printf("drmserve: online resharding every %v (move budget %d)\n", opts.rebalanceEvery, opts.moveBudget)
 	}
+
+	if opts.publishEvery > 0 && plan.IsDistributed() {
+		pub := &core.Publisher{Engine: eng, Rec: rec, Obs: opts.obs, Shards: make(map[int][]core.ShardEndpoint)}
+		for i := 1; i <= plan.NumShards; i++ {
+			name := core.ServiceName(i)
+			addrs := peerAddrs[name]
+			if len(addrs) == 0 {
+				shutdown()
+				srv.Close()
+				return nil, nil, fmt.Errorf("-publish-every needs every shard in -peers; %s missing", name)
+			}
+			// Every address gets its own delta stream: standalone replicas
+			// are separate processes with separate table stores, and a
+			// publish must make all of them fresh. Connections are
+			// dedicated and plain — hedging an update.commit would
+			// re-issue it against a store that already took the version.
+			for _, addr := range addrs {
+				ctrl, err := rpc.DialPool(addr, nil, 1)
+				if err != nil {
+					shutdown()
+					srv.Close()
+					return nil, nil, err
+				}
+				pub.Shards[i] = append(pub.Shards[i], core.ShardEndpoint{Service: name, Addr: addr, Caller: ctrl})
+			}
+		}
+		stop := make(chan struct{})
+		go func() {
+			ticker := time.NewTicker(opts.publishEvery)
+			defer ticker.Stop()
+			version := uint64(0)
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+					version++
+					report, err := pub.Publish(identityDelta(m, version, opts.publishRows))
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "drmserve: publish:", err)
+						continue
+					}
+					fmt.Println("drmserve:", report)
+				}
+			}
+		}()
+		prev := shutdown
+		shutdown = func() { close(stop); prev() }
+		fmt.Printf("drmserve: publishing identity deltas every %v (%d rows/table)\n", opts.publishEvery, opts.publishRows)
+	}
 	return srv, shutdown, nil
+}
+
+// identityDelta builds a delta set that republishes rows already being
+// served — synthetic freshness load whose commit provably cannot change
+// scores. Each version samples a different contiguous row window.
+func identityDelta(m *model.Model, version uint64, rowsPer int) *core.DeltaSet {
+	ds := &core.DeltaSet{Version: version}
+	if rowsPer <= 0 {
+		rowsPer = 16
+	}
+	for id, tab := range m.Tables {
+		dense, ok := tab.(*embedding.Dense)
+		if !ok {
+			continue
+		}
+		n := rowsPer
+		if n > dense.RowsN {
+			n = dense.RowsN
+		}
+		start := int(version*2654435761) % dense.RowsN
+		rows := make([]int32, 0, n)
+		data := make([]float32, 0, n*dense.DimN)
+		for k := 0; k < n; k++ {
+			r := (start + k) % dense.RowsN
+			rows = append(rows, int32(r))
+			data = append(data, dense.Data[r*dense.DimN:(r+1)*dense.DimN]...)
+		}
+		ds.Tables = append(ds.Tables, core.TableDelta{TableID: id, Rows: rows, Data: data})
+	}
+	return ds
 }
 
 func buildPlan(cfg *model.Config, strategy string, n int, pooling map[int]float64) (*sharding.Plan, error) {

@@ -9,6 +9,12 @@
 //	shardtool -model DRM1 -strategy load-bal -shards 8
 //	shardtool -model DRM1 -all        # the full Table II sweep
 //	shardtool -model DRM3 -strategy NSBP -shards 4 -v   # per-shard tables
+//
+// Freshness subcommands (persistent v2 shard files):
+//
+//	shardtool export-v2 -model DRM2 -strategy NSBP -shards 4 -dir out/ -cold-precision int8
+//	shardtool convert -in old.shard1 -out new.shard1
+//	shardtool delta-diff old.shard1 new.shard1
 package main
 
 import (
@@ -23,6 +29,9 @@ import (
 )
 
 func main() {
+	if dispatchSubcommand(os.Args[1:]) {
+		return
+	}
 	var (
 		modelName = flag.String("model", "DRM1", "model: DRM1, DRM2, DRM3")
 		strategy  = flag.String("strategy", "load-bal", "strategy: singular, 1-shard, cap-bal, load-bal, NSBP")

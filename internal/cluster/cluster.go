@@ -8,8 +8,10 @@ package cluster
 
 import (
 	"fmt"
+	"io"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -72,6 +74,13 @@ type Options struct {
 	// sparse shard: a hot-row cache byte budget in front of cold-tier
 	// storage encoded per the config's tier plan.
 	Tier *core.TierConfig
+	// ShardDir, when set, boots every sparse shard from its persistent v2
+	// shard file (<ShardDir>/<model>.shardN, mmap-backed where the
+	// platform allows) instead of materializing tables from the in-memory
+	// model. Files must have been exported under the same plan and tier
+	// precisions (shardtool export-v2); checksummed section headers
+	// reject anything else. Tier still supplies the hot-row cache budget.
+	ShardDir string
 	// Obs receives the deployment's live metrics: every serving stage
 	// registers counters, gauges, and latency histograms against it under
 	// a stable namespace (engine.*, frontend.*, replication.*, sparseN.*,
@@ -135,6 +144,15 @@ type Cluster struct {
 	// replica sharing the same table store and trip the protocol's
 	// commit-without-begin guard.
 	ctrlClients map[string]*rpc.Client
+	// pubClients are plain (never hedged) connections the publisher's
+	// control plane uses, keyed by server address because freshness
+	// deltas address every distinct table store, not just each shard's
+	// registered primary. Guarded by replicaMu.
+	pubClients map[string]*rpc.Client
+	// shardClosers releases mmap-backed shard-file storage when the
+	// cluster booted from Options.ShardDir; closed after the shards that
+	// serve views into it.
+	shardClosers []io.Closer
 
 	plat platform.Platform
 	opts Options
@@ -148,6 +166,17 @@ type Cluster struct {
 	// rebalanceMu serializes Rebalance passes (concurrent passes would
 	// plan against each other's in-flight moves).
 	rebalanceMu sync.Mutex
+
+	// publishMu serializes Publish calls: concurrent publishes of the
+	// same version would race their begin/commit pairs on shared stores.
+	publishMu sync.Mutex
+	// pubVersion is the highest delta-set version this cluster has
+	// published (monotonic); the freshness probe reports each store's lag
+	// behind it.
+	pubVersion atomic.Uint64
+	// pubMu guards pubEvents, the cumulative freshness timeline.
+	pubMu     sync.Mutex
+	pubEvents []core.PublishEvent
 }
 
 // gcTuneOnce relaxes the collector for measurement runs: the request
@@ -194,6 +223,7 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 		Collector:   trace.NewCollector(),
 		clients:     make(map[string]rpc.Caller),
 		ctrlClients: make(map[string]*rpc.Client),
+		pubClients:  make(map[string]*rpc.Client),
 		Hedged:      make(map[string]*replication.Hedged),
 		plat:        plat,
 		opts:        opts,
@@ -234,11 +264,31 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 				recs[i].SetSink(c.Tracer)
 			}
 		}
-		shards, err := core.MaterializeShardsTiered(m, plan, recs, opts.Tier)
+		var shards []*core.SparseShard
+		var err error
+		if opts.ShardDir != "" {
+			shards, err = c.openShardDir(m, plan, recs, opts)
+		} else {
+			shards, err = core.MaterializeShardsTiered(m, plan, recs, opts.Tier)
+		}
 		if err != nil {
 			return nil, err
 		}
 		c.shards = shards
+		// Freshness probe: published high water vs the slowest shared
+		// store. Atomic reads only — replica-private rebuilt stores are
+		// covered by their own <shard>.model_version gauges.
+		c.Obs.RegisterProbeGroup(func(emit func(string, int64)) {
+			pv := c.pubVersion.Load()
+			min := pv
+			for _, sh := range shards {
+				if v := sh.ModelVersion(); v < min {
+					min = v
+				}
+			}
+			emit("publish.min_model_version", int64(min))
+			emit("publish.lag", int64(pv-min))
+		})
 		c.replicas = make([][]*sparseReplica, len(shards))
 		// A replica's measured call latency includes the hedge bound's
 		// worth of patience: an observer still waiting past this gives up
@@ -317,9 +367,13 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	// Pre-fault every table's storage so the first measured requests do
 	// not pay page-in costs that later configurations (sharing the warm
 	// process) would not — the moral equivalent of a production loader
-	// touching the model after deserialization.
-	for _, t := range m.Tables {
-		touchTable(t)
+	// touching the model after deserialization. Shard-file boots skip
+	// it: demand paging the mmap'd tables is the point of that path, and
+	// the shards do not serve from the in-memory model anyway.
+	if opts.ShardDir == "" {
+		for _, t := range m.Tables {
+			touchTable(t)
+		}
 	}
 
 	eng, err := core.NewEngine(m, plan, core.EngineConfig{
@@ -365,6 +419,40 @@ func Boot(m *model.Model, plan *sharding.Plan, opts Options) (*Cluster, error) {
 	})
 	ok = true
 	return c, nil
+}
+
+// openShardDir boots every sparse shard from its persistent v2 shard
+// file — the paper's "serialized from parameter servers" artifact —
+// serving embedding reads straight out of mmap-backed storage where the
+// platform allows. Lookups are bit-identical to a MaterializeShardsTiered
+// boot from the same model under the same tier plan.
+func (c *Cluster) openShardDir(m *model.Model, plan *sharding.Plan, recs []*trace.Recorder, opts Options) ([]*core.SparseShard, error) {
+	shards := make([]*core.SparseShard, 0, plan.NumShards)
+	fail := func(err error) ([]*core.SparseShard, error) {
+		for _, sh := range shards {
+			sh.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < plan.NumShards; i++ {
+		path := core.ShardFilePath(opts.ShardDir, m.Config.Name, i+1)
+		sh, shard, closer, err := core.OpenShardFile(path, recs[i])
+		if err != nil {
+			return fail(fmt.Errorf("cluster: booting shard %d from %s: %w", i+1, path, err))
+		}
+		// The closer outlives the shard (tables may be views into the
+		// mapping); Close releases them after the shards.
+		c.shardClosers = append(c.shardClosers, closer)
+		if shard != i+1 {
+			sh.Close()
+			return fail(fmt.Errorf("cluster: %s holds shard %d, want %d", path, shard, i+1))
+		}
+		if opts.Tier != nil {
+			sh.SetTier(opts.Tier)
+		}
+		shards = append(shards, sh)
+	}
+	return shards, nil
 }
 
 // startReplica boots a server for the replica's store and dials its
@@ -575,6 +663,9 @@ func (c *Cluster) Close() {
 	for _, cl := range c.ctrlClients {
 		cl.Close()
 	}
+	for _, cl := range c.pubClients {
+		cl.Close()
+	}
 	for _, reps := range c.replicas {
 		for _, rep := range reps {
 			if rep.srv != nil {
@@ -590,5 +681,9 @@ func (c *Cluster) Close() {
 	}
 	for _, sh := range c.shards {
 		sh.Close()
+	}
+	// After the shards: mmap-backed tables are views into these mappings.
+	for _, cl := range c.shardClosers {
+		cl.Close()
 	}
 }

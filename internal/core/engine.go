@@ -75,6 +75,10 @@ func newEngineMetrics(r *obs.Registry) engineMetrics {
 type Engine struct {
 	model *model.Model
 	cfg   EngineConfig
+	// params holds the dense-layer parameters compiled into programs —
+	// initially the model's, replaced as a unit by SwapDense. Guarded by
+	// rerouteMu for writers; compile reads it under the same lock.
+	params []model.NetParams
 	// prog holds the compiled (plan, nets) program; Reroute swaps it
 	// atomically under rerouteMu.
 	prog      atomic.Pointer[engineProgram]
@@ -149,7 +153,7 @@ func NewEngine(m *model.Model, plan *sharding.Plan, cfg EngineConfig) (*Engine, 
 	if cfg.Recorder == nil {
 		return nil, fmt.Errorf("core: engine requires a recorder")
 	}
-	e := &Engine{model: m, cfg: cfg, met: newEngineMetrics(cfg.Obs)}
+	e := &Engine{model: m, cfg: cfg, params: m.NetParams, met: newEngineMetrics(cfg.Obs)}
 	e.rawNames = make([]string, len(m.Config.Tables))
 	e.hashedNames = make([]string, len(m.Config.Tables))
 	for i := range m.Config.Tables {
@@ -180,6 +184,63 @@ func (e *Engine) Reroute(plan *sharding.Plan) error {
 	return nil
 }
 
+// SwapDense atomically replaces the dense-layer parameters (bottom/top
+// MLPs and projection) with a freshly published set of identical shapes,
+// recompiling the current plan — the dense-weight half of a model
+// freshness publish. Requests already executing finish on the old
+// program; the next request sees the new weights. Embedding deltas
+// travel separately through sparse.update.*.
+func (e *Engine) SwapDense(params []model.NetParams) error {
+	e.rerouteMu.Lock()
+	defer e.rerouteMu.Unlock()
+	if len(params) != len(e.params) {
+		return fmt.Errorf("core: swap dense: %d nets, engine has %d", len(params), len(e.params))
+	}
+	for i := range params {
+		if err := sameDenseShapes(&e.params[i], &params[i]); err != nil {
+			return fmt.Errorf("core: swap dense: net %d: %w", i, err)
+		}
+	}
+	old := e.params
+	e.params = params
+	prog, err := e.compile(e.prog.Load().plan)
+	if err != nil {
+		e.params = old
+		return fmt.Errorf("core: swap dense: %w", err)
+	}
+	e.prog.Store(prog)
+	return nil
+}
+
+// sameDenseShapes checks a replacement net-parameter set is layer-for-
+// layer shape-identical to the current one.
+func sameDenseShapes(cur, next *model.NetParams) error {
+	checkFC := func(what string, a, b model.FCParams) error {
+		if a.W.Rows != b.W.Rows || a.W.Cols != b.W.Cols || len(a.B) != len(b.B) {
+			return fmt.Errorf("%s shape %dx%d+%d, want %dx%d+%d",
+				what, b.W.Rows, b.W.Cols, len(b.B), a.W.Rows, a.W.Cols, len(a.B))
+		}
+		return nil
+	}
+	if len(cur.Bottom) != len(next.Bottom) || len(cur.Top) != len(next.Top) {
+		return fmt.Errorf("layer counts %d/%d, want %d/%d", len(next.Bottom), len(next.Top), len(cur.Bottom), len(cur.Top))
+	}
+	for i := range cur.Bottom {
+		if err := checkFC(fmt.Sprintf("bottom[%d]", i), cur.Bottom[i], next.Bottom[i]); err != nil {
+			return err
+		}
+	}
+	if err := checkFC("proj", cur.Proj, next.Proj); err != nil {
+		return err
+	}
+	for i := range cur.Top {
+		if err := checkFC(fmt.Sprintf("top[%d]", i), cur.Top[i], next.Top[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // compile builds one routing generation for a plan.
 func (e *Engine) compile(plan *sharding.Plan) (*engineProgram, error) {
 	m := e.model
@@ -191,7 +252,7 @@ func (e *Engine) compile(plan *sharding.Plan) (*engineProgram, error) {
 	for i, ns := range m.Config.Nets {
 		np := &netProgram{
 			spec:        ns,
-			params:      m.NetParams[i],
+			params:      e.params[i],
 			tables:      m.Config.NetTables(ns.Name),
 			sources:     make(map[int]int),
 			colOff:      make(map[int]int),

@@ -105,7 +105,22 @@ func ImportShard(r io.Reader, rec *trace.Recorder) (*SparseShard, int, error) {
 	if string(hdr[:4]) != shardMagic {
 		return nil, 0, fmt.Errorf("%w: bad magic", errBadShardFile)
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != shardVersion {
+	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
+	case shardVersion:
+	case shardVersion2:
+		// v2 is offset-addressed, so pull the remaining stream into one
+		// image and hand it to the structured parser (heap tables; the
+		// zero-copy path is OpenShardFile).
+		rest, err := io.ReadAll(br)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: %v", errBadShardFile, err)
+		}
+		sf, err := parseShardV2(append(hdr, rest...), false)
+		if err != nil {
+			return nil, 0, err
+		}
+		return sf.NewShard(rec), sf.Shard, nil
+	default:
 		return nil, 0, fmt.Errorf("%w: unsupported version %d", errBadShardFile, v)
 	}
 	shard := int(binary.LittleEndian.Uint32(hdr[8:]))

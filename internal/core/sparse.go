@@ -56,6 +56,9 @@ type SparseShard struct {
 	tables   map[tableKey]embedding.Table
 	staging  map[tableKey]*stagedTable
 	forwards map[tableKey]*forwardTarget
+	// updates holds per-version freshness staging (sparse.update.*):
+	// cloned cold tiers with delta rows overlaid, committed as a set.
+	updates map[uint64]map[tableKey]*stagedTable
 	// tier, when non-nil, enables the tiered store: tables install behind
 	// a hot-row cache over a (possibly quantized) cold tier. Guarded by mu.
 	tier *TierConfig
@@ -64,6 +67,9 @@ type SparseShard struct {
 	fwdClients map[string]rpc.Caller
 
 	epoch atomic.Uint64
+	// modelVersion is the highest committed update version — the
+	// freshness gauge exported as "<shard>.model_version".
+	modelVersion atomic.Uint64
 
 	// met holds the shard's metric handles (nil no-ops until SetObs).
 	met shardMetrics
@@ -84,6 +90,7 @@ func NewSparseShard(name string, rec *trace.Recorder) *SparseShard {
 		tables:     make(map[tableKey]embedding.Table),
 		staging:    make(map[tableKey]*stagedTable),
 		forwards:   make(map[tableKey]*forwardTarget),
+		updates:    make(map[uint64]map[tableKey]*stagedTable),
 		fwdClients: make(map[string]rpc.Caller),
 		load:       sharding.NewLoadSummary(),
 	}
@@ -102,6 +109,11 @@ type shardMetrics struct {
 	migrateBytes   *obs.Counter // streamed chunk payload bytes received
 	migrateCommits *obs.Counter
 	snapshotReads  *obs.Counter // migrate/snapshot row-range reads served
+
+	updateBegins  *obs.Counter
+	updateRows    *obs.Counter
+	updateBytes   *obs.Counter // delta row payload bytes received
+	updateCommits *obs.Counter
 }
 
 // SetObs attaches a metrics registry: counters and histograms under the
@@ -120,6 +132,10 @@ func (s *SparseShard) SetObs(reg *obs.Registry) {
 		migrateBytes:   reg.Counter(p + "migrate.bytes"),
 		migrateCommits: reg.Counter(p + "migrate.commits"),
 		snapshotReads:  reg.Counter(p + "snapshot.reads"),
+		updateBegins:   reg.Counter(p + "update.begins"),
+		updateRows:     reg.Counter(p + "update.rows"),
+		updateBytes:    reg.Counter(p + "update.bytes"),
+		updateCommits:  reg.Counter(p + "update.commits"),
 	}
 	reg.RegisterProbeGroup(func(emit func(string, int64)) {
 		ts := s.TierSnapshot()
@@ -131,6 +147,7 @@ func (s *SparseShard) SetObs(reg *obs.Registry) {
 		emit(p+"tier.misses", ts.Misses)
 		emit(p+"tier.admits", ts.Admits)
 		emit(p+"epoch", int64(s.Epoch()))
+		emit(p+"model_version", int64(s.ModelVersion()))
 	})
 }
 
@@ -261,6 +278,14 @@ func (s *SparseShard) Handle(ctx trace.Context, method string, body []byte) ([]b
 		return s.handleMigrateAbort(body)
 	case MethodMigrateForward:
 		return s.handleMigrateForward(body)
+	case MethodUpdateBegin:
+		return s.handleUpdateBegin(ctx, body)
+	case MethodUpdateRows:
+		return s.handleUpdateRows(ctx, body)
+	case MethodUpdateCommit:
+		return s.handleUpdateCommit(ctx, body)
+	case MethodUpdateAbort:
+		return s.handleUpdateAbort(body)
 	case MethodSnapshotList:
 		return s.handleSnapshotList(body)
 	case MethodSnapshotRead:

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/embedding"
+	"repro/internal/quant"
+	"repro/internal/trace"
+)
+
+// Shard-side model freshness: versioned delta staging and atomic commit.
+// An update version stages a *clone* of each touched table's cold tier
+// (so untouched rows carry over bit-exactly, and mmap-backed storage is
+// never written through), overlays the delta rows, and cuts the whole
+// set over in one epoch bump. Table storage stays immutable: readers in
+// flight keep the old copy, the next request sees the new one.
+
+// cloneStaged copies a table's cold tier into fresh staging storage in
+// the same encoding. The source may be mmap-backed; the clone is heap.
+func cloneStaged(t embedding.Table) (*stagedTable, error) {
+	switch cold := coldOf(t).(type) {
+	case *embedding.Dense:
+		st, err := newStaged(TierEncFP32, int32(cold.NumRows()), int32(cold.Dim()))
+		if err != nil {
+			return nil, err
+		}
+		copy(st.dense.Data, cold.Data)
+		return st, nil
+	case *embedding.FP16:
+		enc := cold.Encoding()
+		st, err := newStaged(TierEncFP16, int32(enc.Rows), int32(enc.Cols))
+		if err != nil {
+			return nil, err
+		}
+		copy(st.fp16.Data, enc.Data)
+		return st, nil
+	case *embedding.Quantized:
+		enc := cold.Encoding()
+		e := TierEncInt8
+		if enc.Bits == quant.Bits4 {
+			e = TierEncInt4
+		}
+		st, err := newStaged(e, int32(enc.Rows), int32(enc.Cols))
+		if err != nil {
+			return nil, err
+		}
+		copy(st.q.Scales, enc.Scales)
+		copy(st.q.Biases, enc.Biases)
+		copy(st.q.Packed, enc.Packed)
+		return st, nil
+	}
+	return nil, fmt.Errorf("core: cannot stage updates over %T", t)
+}
+
+// ModelVersion returns the highest committed update version (0 before
+// any publish) — the freshness gauge the publisher's lag probe reads.
+func (s *SparseShard) ModelVersion() uint64 { return s.modelVersion.Load() }
+
+func (s *SparseShard) handleUpdateBegin(ctx trace.Context, body []byte) ([]byte, error) {
+	m, err := DecodeUpdateBegin(body)
+	if err != nil {
+		return nil, err
+	}
+	key := tableKey{id: int(m.TableID), part: int(m.PartIndex)}
+	s.mu.RLock()
+	tab, ok := s.tables[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: %s: update begin for table %d part %d not held", s.ShardName, m.TableID, m.PartIndex)
+	}
+	cold := coldOf(tab)
+	enc, err := tableEnc(tab)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+	}
+	if int(m.Rows) != cold.NumRows() || int(m.Dim) != cold.Dim() || m.Enc != enc {
+		return nil, fmt.Errorf("core: %s: update begin %dx%d enc %d for table %d part %d held as %dx%d enc %d",
+			s.ShardName, m.Rows, m.Dim, m.Enc, m.TableID, m.PartIndex, cold.NumRows(), cold.Dim(), enc)
+	}
+	start := s.rec.Now()
+	// Clone outside the lock: storage is immutable, so the copy is
+	// consistent even while lookups proceed.
+	stage, err := cloneStaged(tab)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+	}
+	s.mu.Lock()
+	if cur, held := s.tables[key]; !held || cur != tab {
+		// A migration or concurrent commit replaced the copy mid-clone;
+		// the clone may be stale. The publisher retries against the new
+		// table set.
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: %s: table %d part %d changed during update begin; retry", s.ShardName, m.TableID, m.PartIndex)
+	}
+	vm := s.updates[m.Version]
+	if vm == nil {
+		vm = make(map[tableKey]*stagedTable)
+		s.updates[m.Version] = vm
+	}
+	vm[key] = stage
+	s.mu.Unlock()
+	s.rec.Record(trace.Span{
+		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
+		Name:  fmt.Sprintf("update/begin/v%d/t%d.%d", m.Version, m.TableID, m.PartIndex),
+		Start: start, Dur: s.rec.Now().Sub(start),
+	})
+	s.met.updateBegins.Inc()
+	return nil, nil
+}
+
+func (s *SparseShard) handleUpdateRows(ctx trace.Context, body []byte) ([]byte, error) {
+	m, err := DecodeUpdateRows(body)
+	if err != nil {
+		return nil, err
+	}
+	c := &m.Chunk
+	key := tableKey{id: int(c.TableID), part: int(c.PartIndex)}
+	s.mu.RLock()
+	stage := s.updates[m.Version][key]
+	s.mu.RUnlock()
+	if stage == nil {
+		return nil, fmt.Errorf("core: %s: update rows v%d for table %d part %d without begin", s.ShardName, m.Version, c.TableID, c.PartIndex)
+	}
+	if int(c.Dim) != stage.dim() {
+		return nil, fmt.Errorf("core: %s: update rows dim %d for staged dim %d", s.ShardName, c.Dim, stage.dim())
+	}
+	if c.Enc != stage.enc {
+		return nil, fmt.Errorf("core: %s: update rows encoding %d for staged encoding %d", s.ShardName, c.Enc, stage.enc)
+	}
+	start := s.rec.Now()
+	// Row ranges of one version/table arrive sequentially from the
+	// publisher and land in preallocated staging, so writes need no lock.
+	if stage.enc == TierEncFP32 {
+		if err := stage.writeF32(int(c.RowStart), c.Data); err != nil {
+			return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+		}
+	} else if _, err := stage.writeRaw(int(c.RowStart), c.Raw); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", s.ShardName, err)
+	}
+	s.rec.Record(trace.Span{
+		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
+		Name:  fmt.Sprintf("update/rows/v%d/t%d.%d", m.Version, c.TableID, c.PartIndex),
+		Start: start, Dur: s.rec.Now().Sub(start),
+	})
+	s.met.updateRows.Inc()
+	s.met.updateBytes.Add(int64(4*len(c.Data) + len(c.Raw)))
+	return nil, nil
+}
+
+func (s *SparseShard) handleUpdateCommit(ctx trace.Context, body []byte) ([]byte, error) {
+	m, err := DecodeUpdateCommit(body)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	vm, ok := s.updates[m.Version]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: %s: update commit v%d without begin", s.ShardName, m.Version)
+	}
+	delete(s.updates, m.Version)
+	keys := make([]tableKey, 0, len(vm))
+	for key := range vm {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].id != keys[j].id {
+			return keys[i].id < keys[j].id
+		}
+		return keys[i].part < keys[j].part
+	})
+	installed := 0
+	for _, key := range keys {
+		if _, held := s.tables[key]; !held {
+			// Migrated away (or released) since begin: the delta reaches
+			// the new holder through its own replica stream; installing
+			// here would resurrect a dropped copy.
+			continue
+		}
+		tab, err := vm[key].table()
+		if err != nil {
+			s.mu.Unlock()
+			return nil, fmt.Errorf("core: %s: update commit v%d: %w", s.ShardName, m.Version, err)
+		}
+		// Fresh rows enter the cold tier; the hot-row cache restarts
+		// empty with the new copy (a cache belongs to one table copy).
+		s.tables[key] = s.tierWrap(key.id, tab)
+		installed++
+	}
+	s.mu.Unlock()
+	epoch := s.epoch.Add(1)
+	for {
+		cur := s.modelVersion.Load()
+		if m.Version <= cur || s.modelVersion.CompareAndSwap(cur, m.Version) {
+			break
+		}
+	}
+	s.retier()
+	s.met.updateCommits.Inc()
+	s.rec.Record(trace.Span{
+		TraceID: ctx.TraceID, CallID: ctx.CallID, Layer: trace.LayerMigration,
+		Name:  fmt.Sprintf("update/commit/v%d", m.Version),
+		Start: s.rec.Now(),
+	})
+	return EncodeUpdateCommitResponse(&UpdateCommitResponse{
+		Epoch: epoch, Version: s.modelVersion.Load(), Tables: int32(installed),
+	}), nil
+}
+
+// handleUpdateAbort discards a version's staged tables — the cleanup a
+// publisher fires when a stream fails partway. Aborting an unknown
+// version is a no-op so cleanup is safe to fire unconditionally.
+func (s *SparseShard) handleUpdateAbort(body []byte) ([]byte, error) {
+	m, err := DecodeUpdateCommit(body)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	delete(s.updates, m.Version)
+	s.mu.Unlock()
+	return nil, nil
+}

@@ -1,0 +1,149 @@
+package core
+
+import "fmt"
+
+// Wire codecs for the online model-freshness protocol: a publisher
+// streams versioned row deltas into per-version staging at each shard,
+// then commits the whole delta set in one atomic cutover. The row
+// payloads reuse the migration chunk codec (same encoding-aware layout),
+// so a delta lands bit-identically to a full republish of the table.
+
+// Freshness control-plane methods served by SparseShard.Handle.
+const (
+	MethodUpdateBegin  = "sparse.update.begin"
+	MethodUpdateRows   = "sparse.update.rows"
+	MethodUpdateCommit = "sparse.update.commit"
+	MethodUpdateAbort  = "sparse.update.abort"
+)
+
+// UpdateBegin opens version-scoped staging for one held table: the shard
+// clones its current cold tier so untouched rows carry over verbatim and
+// delta rows overwrite in place. The shape/encoding fields are a
+// cross-check against the shard's copy — a publisher working from a
+// stale view of the table set must fail loudly, not corrupt staging.
+type UpdateBegin struct {
+	Version   uint64
+	TableID   int32
+	PartIndex int32
+	Rows      int32
+	Dim       int32
+	Enc       int32
+}
+
+// UpdateRows delivers one row range of a versioned delta, in the table's
+// cold-tier encoding (the MigrateChunk payload contract).
+type UpdateRows struct {
+	Version uint64
+	Chunk   MigrateChunk
+}
+
+// UpdateCommit atomically activates every staged table of the version;
+// the same body addresses sparse.update.abort, which discards them.
+type UpdateCommit struct {
+	Version uint64
+}
+
+// UpdateCommitResponse reports the cutover: the shard's new forwarding
+// epoch, its model version after the commit, and how many staged tables
+// were installed (tables migrated away mid-update are skipped — their
+// new holder receives the delta from the publisher directly).
+type UpdateCommitResponse struct {
+	Epoch   uint64
+	Version uint64
+	Tables  int32
+}
+
+// EncodeUpdateBegin serializes a version-staging request.
+func EncodeUpdateBegin(m *UpdateBegin) []byte {
+	var w buffer
+	w.u64(m.Version)
+	for _, v := range []int32{m.TableID, m.PartIndex, m.Rows, m.Dim, m.Enc} {
+		w.u32(uint32(v))
+	}
+	return w.b
+}
+
+// DecodeUpdateBegin parses a version-staging request.
+func DecodeUpdateBegin(b []byte) (*UpdateBegin, error) {
+	r := reader{b: b}
+	out := &UpdateBegin{}
+	var err error
+	if out.Version, err = r.u64(); err != nil {
+		return nil, err
+	}
+	for _, dst := range []*int32{&out.TableID, &out.PartIndex, &out.Rows, &out.Dim, &out.Enc} {
+		v, err := r.u32()
+		if err != nil {
+			return nil, err
+		}
+		*dst = int32(v)
+	}
+	return out, nil
+}
+
+// EncodeUpdateRows serializes a versioned delta row range.
+func EncodeUpdateRows(m *UpdateRows) []byte {
+	var w buffer
+	w.u64(m.Version)
+	w.b = append(w.b, EncodeMigrateChunk(&m.Chunk)...)
+	return w.b
+}
+
+// DecodeUpdateRows parses a versioned delta row range.
+func DecodeUpdateRows(b []byte) (*UpdateRows, error) {
+	r := reader{b: b}
+	v, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	chunk, err := DecodeMigrateChunk(r.b)
+	if err != nil {
+		return nil, fmt.Errorf("core: update rows: %w", err)
+	}
+	return &UpdateRows{Version: v, Chunk: *chunk}, nil
+}
+
+// EncodeUpdateCommit serializes a commit (or abort) request.
+func EncodeUpdateCommit(m *UpdateCommit) []byte {
+	var w buffer
+	w.u64(m.Version)
+	return w.b
+}
+
+// DecodeUpdateCommit parses a commit (or abort) request.
+func DecodeUpdateCommit(b []byte) (*UpdateCommit, error) {
+	r := reader{b: b}
+	v, err := r.u64()
+	if err != nil {
+		return nil, err
+	}
+	return &UpdateCommit{Version: v}, nil
+}
+
+// EncodeUpdateCommitResponse serializes a commit acknowledgement.
+func EncodeUpdateCommitResponse(m *UpdateCommitResponse) []byte {
+	var w buffer
+	w.u64(m.Epoch)
+	w.u64(m.Version)
+	w.u32(uint32(m.Tables))
+	return w.b
+}
+
+// DecodeUpdateCommitResponse parses a commit acknowledgement.
+func DecodeUpdateCommitResponse(b []byte) (*UpdateCommitResponse, error) {
+	r := reader{b: b}
+	out := &UpdateCommitResponse{}
+	var err error
+	if out.Epoch, err = r.u64(); err != nil {
+		return nil, err
+	}
+	if out.Version, err = r.u64(); err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	out.Tables = int32(n)
+	return out, nil
+}

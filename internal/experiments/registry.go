@@ -43,6 +43,7 @@ func All() []Experiment {
 		{"dense", "Dense engine (batch × parallelism × MLP shape, GEMM GFLOP/s + e2e)", func(r *Runner, w io.Writer) error { return r.Dense(w) }},
 		{"fault", "Fault tolerance (replica kills × count × hedge delay, SLA + rebuild)", func(r *Runner, w io.Writer) error { return r.Fault(w) }},
 		{"coserve", "Multi-model co-serving (elastic vs static capacity at equal hardware)", func(r *Runner, w io.Writer) error { return r.CoServe(w) }},
+		{"fresh", "Online model freshness (update rate × QPS, mmap boot, byte identity)", func(r *Runner, w io.Writer) error { return r.Fresh(w) }},
 	}
 }
 

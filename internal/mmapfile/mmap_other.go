@@ -1,0 +1,21 @@
+//go:build !linux && !darwin
+
+package mmapfile
+
+import "os"
+
+// Open reads path into the heap — the portable fallback where mmap is
+// unavailable. The File behaves identically apart from Mapped().
+func Open(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return &File{data: data}, nil
+}
+
+// Close releases the heap copy.
+func (f *File) Close() error {
+	f.data = nil
+	return nil
+}

@@ -1,0 +1,84 @@
+// Package mmapfile provides read-only memory-mapped file access for the
+// persistent shard-table format: a shard process serves embedding rows
+// directly from file-backed byte slices instead of regenerating (or
+// heap-copying) its tables at boot. On platforms without mmap — or when
+// the host byte order does not match the little-endian file format — Open
+// transparently falls back to reading the file into the heap, so callers
+// never branch on platform.
+package mmapfile
+
+import (
+	"encoding/binary"
+	"unsafe"
+)
+
+// File is an open, read-only view of a file's contents: either a live
+// memory mapping or a heap copy (the fallback). Close releases the
+// mapping; any slices derived from Bytes (including the typed views
+// below) are invalid afterwards.
+type File struct {
+	data   []byte
+	mapped bool
+}
+
+// Bytes returns the file contents. For a mapped file the slice is backed
+// by the page cache and must not be written to (the mapping is
+// PROT_READ; writes fault).
+func (f *File) Bytes() []byte { return f.data }
+
+// Mapped reports whether the contents are served from a memory mapping
+// (false: heap fallback).
+func (f *File) Mapped() bool { return f.mapped }
+
+// hostLittleEndian reports whether the host stores multi-byte integers
+// little-endian — the precondition for viewing file bytes as typed
+// slices without decoding.
+func hostLittleEndian() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}
+
+// ViewsUsable reports whether Float32s/Uint16s views over file bytes
+// decode correctly on this host (little-endian file format).
+func ViewsUsable() bool { return hostLittleEndian() }
+
+// Float32s views b as a []float32 without copying. The caller must
+// ensure len(b) is a multiple of 4, b is 4-byte aligned (page-aligned
+// file sections are), and ViewsUsable() holds; otherwise use DecodeF32.
+func Float32s(b []byte) []float32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}
+
+// Uint16s views b as a []uint16 without copying, under the same
+// preconditions as Float32s (2-byte alignment).
+func Uint16s(b []byte) []uint16 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*uint16)(unsafe.Pointer(&b[0])), len(b)/2)
+}
+
+// DecodeF32 decodes little-endian float32s into a fresh heap slice — the
+// portable path for hosts where views are unusable, and for staging
+// copies that must not alias the mapping.
+func DecodeF32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// DecodeU16 decodes little-endian uint16s into a fresh heap slice.
+func DecodeU16(b []byte) []uint16 {
+	out := make([]uint16, len(b)/2)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint16(b[2*i:])
+	}
+	return out
+}
+
+func float32frombits(u uint32) float32 { return *(*float32)(unsafe.Pointer(&u)) }

@@ -35,6 +35,16 @@ func (e *RemoteError) Error() string { return "rpc: remote error: " + e.Msg }
 // ErrClientClosed reports use of a closed client.
 var ErrClientClosed = errors.New("rpc: client closed")
 
+// corruptResponses counts response frames that framed correctly but
+// failed to decode, each of which tears down its connection. Process
+// wide because corruption is a wire-integrity event, not a per-client
+// property.
+var corruptResponses atomic.Uint64
+
+// CorruptResponses reports how many corrupt response frames clients in
+// this process have seen. Each one killed a pooled connection.
+func CorruptResponses() uint64 { return corruptResponses.Load() }
+
 // Caller issues asynchronous RPCs. *Client is the plain implementation;
 // replication.Hedged layers tail-latency hedging over a set of replica
 // Callers without the call sites knowing.
@@ -189,7 +199,18 @@ func (s *clientConn) readLoop() {
 		}
 		resp, err := DecodeResponse(payload)
 		if err != nil {
-			continue // skip corrupt frame; matching call fails on Close
+			// A frame that framed correctly but does not decode means the
+			// stream is corrupt; its call id is unrecoverable, so skipping
+			// would leave that call hanging until Close. Tear the
+			// connection down instead: every pending call fails now, with
+			// a cause, and the next dial starts from a clean stream.
+			corruptResponses.Add(1)
+			s.mu.Lock()
+			s.closed = true
+			s.mu.Unlock()
+			s.conn.Close()
+			s.failPending(fmt.Errorf("rpc: corrupt response frame: %w", err))
+			return
 		}
 		s.mu.Lock()
 		call, ok := s.pending[resp.CallID]
@@ -208,19 +229,26 @@ func (s *clientConn) readLoop() {
 
 func (s *clientConn) issue(req *Request) *Call {
 	call := &Call{Req: req, Done: make(chan struct{})}
-	payload, err := EncodeRequest(req)
+	size, err := requestWireSize(req)
 	if err != nil {
 		call.finish(nil, err)
 		return call
 	}
+	// Encode into a pooled buffer; it is returned once the frame write
+	// runs (write() executes exactly once, inline or on the timer
+	// wheel) or on the paths below where the write never happens.
+	bp := getFrameBuf(size)
+	payload := encodeRequestInto(*bp, req)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		putFrameBuf(bp)
 		call.finish(nil, ErrClientClosed)
 		return call
 	}
 	if _, dup := s.pending[req.CallID]; dup {
 		s.mu.Unlock()
+		putFrameBuf(bp)
 		call.finish(nil, fmt.Errorf("rpc: duplicate call id %d", req.CallID))
 		return call
 	}
@@ -235,6 +263,7 @@ func (s *clientConn) issue(req *Request) *Call {
 		s.writeMu.Lock()
 		err := writeFrame(s.conn, payload)
 		s.writeMu.Unlock()
+		putFrameBuf(bp)
 		if err != nil {
 			s.mu.Lock()
 			_, stillPending := s.pending[req.CallID]
